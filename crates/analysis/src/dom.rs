@@ -1,0 +1,142 @@
+//! Dominator analysis over a function CFG.
+
+use crate::cfg::{BlockId, FunctionCfg};
+
+/// Dominator sets for every block of a function, computed with the classic
+/// iterative data-flow algorithm.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `doms[b]` is the set of blocks that dominate `b` (including `b`),
+    /// encoded as a sorted vector.
+    doms: Vec<Vec<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `func`.
+    #[must_use]
+    pub fn compute(func: &FunctionCfg) -> Dominators {
+        let n = func.blocks.len();
+        if n == 0 {
+            return Dominators { doms: Vec::new() };
+        }
+        let all: Vec<BlockId> = (0..n).collect();
+        let mut doms: Vec<Vec<BlockId>> = vec![all.clone(); n];
+        doms[0] = vec![0];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in 1..n {
+                let preds = &func.blocks[b].preds;
+                let mut new: Option<Vec<BlockId>> = None;
+                for &p in preds {
+                    new = Some(match new {
+                        None => doms[p].clone(),
+                        Some(cur) => intersect(&cur, &doms[p]),
+                    });
+                }
+                let mut new = new.unwrap_or_default();
+                if !new.contains(&b) {
+                    new.push(b);
+                    new.sort_unstable();
+                }
+                if new != doms[b] {
+                    doms[b] = new;
+                    changed = true;
+                }
+            }
+        }
+        Dominators { doms }
+    }
+
+    /// Returns `true` if block `a` dominates block `b`.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.doms.get(b).map_or(false, |d| d.binary_search(&a).is_ok())
+    }
+
+    /// The full dominator set of `b`.
+    #[must_use]
+    pub fn dominators_of(&self, b: BlockId) -> &[BlockId] {
+        &self.doms[b]
+    }
+}
+
+fn intersect(a: &[BlockId], b: &[BlockId]) -> Vec<BlockId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::recover_functions;
+    use janus_ir::{AluOp, AsmBuilder, Cond, Inst, Operand, Reg};
+
+    #[test]
+    fn diamond_dominance() {
+        // entry -> (then | else) -> join
+        let mut asm = AsmBuilder::new();
+        asm.function("main");
+        asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(0)));
+        asm.push_branch(Cond::Eq, "else_b");
+        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(1)));
+        asm.push_jmp("join");
+        asm.label("else_b");
+        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(2)));
+        asm.label("join");
+        asm.push(Inst::Halt);
+        let bin = asm.finish_binary("main").unwrap();
+        let f = &recover_functions(&bin).unwrap()[0];
+        let doms = Dominators::compute(f);
+        // The entry block dominates everything.
+        for b in 0..f.blocks.len() {
+            assert!(doms.dominates(0, b));
+        }
+        // Neither branch arm dominates the join block.
+        let join = f
+            .blocks
+            .iter()
+            .find(|b| matches!(b.terminator().map(|d| &d.inst), Some(Inst::Halt)))
+            .unwrap()
+            .id;
+        let arms: Vec<_> = f
+            .blocks
+            .iter()
+            .filter(|b| b.id != 0 && b.id != join)
+            .map(|b| b.id)
+            .collect();
+        for arm in arms {
+            assert!(!doms.dominates(arm, join), "arm {arm} must not dominate join");
+        }
+        assert_eq!(doms.dominators_of(0), &[0]);
+    }
+
+    #[test]
+    fn every_block_dominates_itself() {
+        let mut asm = AsmBuilder::new();
+        asm.function("main");
+        asm.label("l");
+        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(5)));
+        asm.push_branch(Cond::Lt, "l");
+        asm.push(Inst::Halt);
+        let bin = asm.finish_binary("main").unwrap();
+        let f = &recover_functions(&bin).unwrap()[0];
+        let doms = Dominators::compute(f);
+        for b in 0..f.blocks.len() {
+            assert!(doms.dominates(b, b));
+        }
+    }
+}

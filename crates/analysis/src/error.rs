@@ -1,0 +1,57 @@
+//! Error type for static analysis.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, AnalysisError>;
+
+/// Errors raised while analysing a binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The binary's text section could not be decoded.
+    Decode {
+        /// The underlying decoder error, formatted.
+        reason: String,
+    },
+    /// The requested entity does not exist.
+    NotFound {
+        /// What was being looked for.
+        what: String,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Decode { reason } => write!(f, "failed to decode binary: {reason}"),
+            AnalysisError::NotFound { what } => write!(f, "not found: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<janus_ir::IrError> for AnalysisError {
+    fn from(e: janus_ir::IrError) -> Self {
+        AnalysisError::Decode {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: AnalysisError = janus_ir::IrError::InvalidRegister { index: 40 }.into();
+        assert!(e.to_string().contains("decode"));
+        assert!(AnalysisError::NotFound {
+            what: "loop 3".into()
+        }
+        .to_string()
+        .contains("loop 3"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Criterion benches, one group per table/figure of the paper plus two
+//! ablation studies. Each bench measures the wall-clock cost of regenerating
+//! the experiment (the experiment's own *result* — speedups, fractions — is
+//! printed by the `figures` binary and recorded in `EXPERIMENTS.md`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janus_bench as bench;
+use janus_compile::{CompileOptions, Compiler};
+use janus_core::{Janus, JanusConfig, OptimisationMode};
+use janus_workloads::workload;
+
+fn bench_fig6_loop_classification(c: &mut Criterion) {
+    // Static analysis + profiling of a representative workload (training
+    // input), the per-benchmark unit of Figure 6.
+    let w = workload("462.libquantum").unwrap();
+    let binary = Compiler::new().compile(&w.train_program).unwrap();
+    c.bench_function("fig6_classify_and_profile_libquantum_train", |b| {
+        b.iter(|| {
+            let janus = Janus::new();
+            let analysis = janus.analyze(&binary).unwrap();
+            let profile = janus.profile(&binary, &analysis, &[]).unwrap();
+            (analysis.category_histogram(), profile.total_instructions)
+        })
+    });
+}
+
+fn bench_fig7_speedup(c: &mut Criterion) {
+    let binary = bench::compile_train("470.lbm", CompileOptions::gcc_o3());
+    let mut group = c.benchmark_group("fig7_speedup_lbm_train");
+    group.sample_size(10);
+    for (label, mode) in [
+        ("dynamorio_only", OptimisationMode::DynamoRioOnly),
+        ("janus_full_8t", OptimisationMode::Full),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Janus::with_config(JanusConfig {
+                    threads: 8,
+                    mode,
+                    ..JanusConfig::default()
+                })
+                .run(&binary, &[])
+                .unwrap()
+                .speedup()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig9_scaling(c: &mut Criterion) {
+    let binary = bench::compile_train("462.libquantum", CompileOptions::gcc_o3());
+    let mut group = c.benchmark_group("fig9_scaling_libquantum_train");
+    group.sample_size(10);
+    for threads in [1u32, 4, 8] {
+        group.bench_function(format!("{threads}_threads"), |b| {
+            b.iter(|| {
+                Janus::with_config(JanusConfig {
+                    threads,
+                    ..JanusConfig::default()
+                })
+                .run(&binary, &[])
+                .unwrap()
+                .speedup()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_schedule_size(c: &mut Criterion) {
+    let binary = bench::compile_train("459.GemsFDTD", CompileOptions::gcc_o3());
+    c.bench_function("fig10_schedule_generation_gemsfdtd", |b| {
+        b.iter(|| {
+            let janus = Janus::new();
+            let analysis = janus.analyze(&binary).unwrap();
+            let selected = janus.select_loops(&analysis, None);
+            janus.generate_schedule(&binary, &analysis, &selected).byte_size()
+        })
+    });
+}
+
+fn bench_fig11_and_fig12_compilation(c: &mut Criterion) {
+    // The unit of Figures 11/12 that is not already covered above: compiling
+    // the same workload under the different compiler configurations.
+    let w = workload("436.cactusADM").unwrap();
+    let mut group = c.benchmark_group("fig11_fig12_compiler_configs");
+    for (label, opts) in [
+        ("gcc_o2", CompileOptions::gcc_o2()),
+        ("gcc_o3", CompileOptions::gcc_o3()),
+        ("gcc_o3_avx", CompileOptions::gcc_o3_avx()),
+        ("icc_o3", CompileOptions::icc_o3()),
+        ("gcc_parallel8", CompileOptions::gcc_parallel(8)),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| Compiler::with_options(opts).compile(&w.train_program).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_table1_bounds_checks(c: &mut Criterion) {
+    let binary = bench::compile_train("459.GemsFDTD", CompileOptions::gcc_o3());
+    c.bench_function("table1_alias_analysis_gemsfdtd", |b| {
+        b.iter(|| {
+            let analysis = Janus::new().analyze(&binary).unwrap();
+            analysis
+                .loops
+                .iter()
+                .map(|l| l.bounds_checks.len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_ablation_sched_policy(c: &mut Criterion) {
+    // Ablation: profitability threshold (minimum iterations per thread).
+    let binary = bench::compile_train("433.milc", CompileOptions::gcc_o3());
+    let mut group = c.benchmark_group("ablation_min_iterations_per_thread");
+    group.sample_size(10);
+    for min_iters in [1u64, 8, 64] {
+        group.bench_function(format!("min_{min_iters}"), |b| {
+            b.iter(|| {
+                let mut config = JanusConfig::default();
+                config.dbm.min_iterations_per_thread = min_iters;
+                Janus::with_config(config).run(&binary, &[]).unwrap().speedup()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation_stm(c: &mut Criterion) {
+    // Ablation: the STM path (bwaves' shared-library call) vs a workload
+    // without speculation.
+    let bwaves = bench::compile_train("410.bwaves", CompileOptions::gcc_o3());
+    let lbm = bench::compile_train("470.lbm", CompileOptions::gcc_o3());
+    let mut group = c.benchmark_group("ablation_stm_speculation");
+    group.sample_size(10);
+    group.bench_function("bwaves_with_stm", |b| {
+        b.iter(|| Janus::new().run(&bwaves, &[]).unwrap().speedup())
+    });
+    group.bench_function("lbm_without_stm", |b| {
+        b.iter(|| Janus::new().run(&lbm, &[]).unwrap().speedup())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_fig6_loop_classification,
+    bench_fig7_speedup,
+    bench_fig9_scaling,
+    bench_fig10_schedule_size,
+    bench_fig11_and_fig12_compilation,
+    bench_table1_bounds_checks,
+    bench_ablation_sched_policy,
+    bench_ablation_stm
+);
+criterion_main!(figures);

@@ -1,0 +1,185 @@
+//! Regenerates every table and figure of the paper's evaluation and prints
+//! them as text tables.
+//!
+//! Usage: `cargo run --release -p janus-bench --bin figures [fig6|fig7|...|all]`
+
+use janus_bench as bench;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "fig6" {
+        fig6();
+    }
+    if all || which == "fig7" {
+        fig7();
+    }
+    if all || which == "fig8" {
+        fig8();
+    }
+    if all || which == "fig9" {
+        fig9();
+    }
+    if all || which == "fig10" {
+        fig10();
+    }
+    if all || which == "fig11" {
+        fig11();
+    }
+    if all || which == "fig12" {
+        fig12();
+    }
+    if all || which == "table1" {
+        table1();
+    }
+    if all || which == "table2" {
+        table2();
+    }
+}
+
+fn fig6() {
+    println!("\n=== Figure 6: loop classification (static % | execution-time %) ===");
+    println!(
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "A", "B", "C", "D", "inc", "A", "B", "C", "D", "inc"
+    );
+    for row in bench::fig6_loop_classification() {
+        let s = row.static_fraction;
+        let t = row.time_fraction;
+        println!(
+            "{:<16} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            row.name,
+            s[0] * 100.0, s[1] * 100.0, s[2] * 100.0, s[3] * 100.0, s[4] * 100.0,
+            t[0] * 100.0, t[1] * 100.0, t[2] * 100.0, t[3] * 100.0, t[4] * 100.0
+        );
+    }
+}
+
+fn fig7() {
+    println!("\n=== Figure 7: whole-program speedup, 8 threads ===");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "benchmark", "DynamoRIO", "Static", "+Profile", "Janus"
+    );
+    let rows = bench::fig7_speedup(8);
+    for r in &rows {
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            r.name, r.dynamorio, r.statically_driven, r.with_profile, r.janus
+        );
+    }
+    println!(
+        "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+        "geomean",
+        bench::geomean(&rows.iter().map(|r| r.dynamorio).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.statically_driven).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.with_profile).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.janus).collect::<Vec<_>>()),
+    );
+}
+
+fn fig8() {
+    println!("\n=== Figure 8: execution-time breakdown (fractions) ===");
+    println!(
+        "{:<16} {:>3}  {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "benchmark", "T", "sequential", "parallel", "init/finish", "translation", "checks"
+    );
+    for row in bench::fig8_breakdown() {
+        let f = row.fractions;
+        println!(
+            "{:<16} {:>3}  {:>9.1}% {:>9.1}% {:>11.1}% {:>11.1}% {:>9.1}%",
+            row.name,
+            row.threads,
+            f[0] * 100.0,
+            f[1] * 100.0,
+            f[2] * 100.0,
+            f[3] * 100.0,
+            f[4] * 100.0
+        );
+    }
+}
+
+fn fig9() {
+    println!("\n=== Figure 9: speedup vs number of threads ===");
+    print!("{:<16}", "benchmark");
+    for t in 1..=8 {
+        print!(" {:>6}", format!("{t}T"));
+    }
+    println!();
+    for (name, series) in bench::fig9_scaling(8) {
+        print!("{name:<16}");
+        for (_, s) in series {
+            print!(" {s:>6.2}");
+        }
+        println!();
+    }
+}
+
+fn fig10() {
+    println!("\n=== Figure 10: rewrite-schedule size (% of binary size) ===");
+    let rows = bench::fig10_schedule_size();
+    for (name, pct) in &rows {
+        println!("{name:<16} {pct:>6.2}%");
+    }
+    println!(
+        "{:<16} {:>6.2}%",
+        "geomean",
+        bench::geomean(&rows.iter().map(|(_, p)| *p).collect::<Vec<_>>())
+    );
+}
+
+fn fig11() {
+    println!("\n=== Figure 11: Janus vs compiler auto-parallelisation (8 threads) ===");
+    println!(
+        "{:<16} {:>12} {:>14} {:>12} {:>14}",
+        "benchmark", "gcc -parallel", "Janus on gcc", "icc -parallel", "Janus on icc"
+    );
+    let rows = bench::fig11_compiler_comparison(8);
+    for r in &rows {
+        println!(
+            "{:<16} {:>12.2} {:>14.2} {:>12.2} {:>14.2}",
+            r.name, r.gcc_parallel, r.janus_on_gcc, r.icc_parallel, r.janus_on_icc
+        );
+    }
+    println!(
+        "{:<16} {:>12.2} {:>14.2} {:>12.2} {:>14.2}",
+        "geomean",
+        bench::geomean(&rows.iter().map(|r| r.gcc_parallel).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.janus_on_gcc).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.icc_parallel).collect::<Vec<_>>()),
+        bench::geomean(&rows.iter().map(|r| r.janus_on_icc).collect::<Vec<_>>()),
+    );
+}
+
+fn fig12() {
+    println!("\n=== Figure 12: Janus speedup by compiler optimisation level ===");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10}",
+        "benchmark", "-O2", "-O3", "-O3 -mavx"
+    );
+    let rows = bench::fig12_opt_levels(8);
+    for (name, s) in &rows {
+        println!("{:<16} {:>8.2} {:>8.2} {:>10.2}", name, s[0], s[1], s[2]);
+    }
+    for (i, label) in ["-O2", "-O3", "-O3 -mavx"].iter().enumerate() {
+        let g = bench::geomean(&rows.iter().map(|(_, s)| s[i]).collect::<Vec<_>>());
+        println!("geomean {label:<10} {g:>8.2}");
+    }
+}
+
+fn table1() {
+    println!("\n=== Table I: mean array-bounds checks per loop requiring them ===");
+    for (name, mean) in bench::table1_bounds_checks() {
+        println!("{name:<16} {mean:>6.1}");
+    }
+}
+
+fn table2() {
+    println!("\n=== Table II: binary parallelisation tools (qualitative) ===");
+    for row in bench::table2_tool_comparison() {
+        println!(
+            "{:<22} {:<26} {:<12} {:<22} {:<15} {:<17} {}",
+            row[0], row[1], row[2], row[3], row[4], row[5], row[6]
+        );
+    }
+}

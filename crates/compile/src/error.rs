@@ -1,0 +1,103 @@
+//! Errors produced by the mini compiler.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+/// Errors raised while lowering a program to JVA machine code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A variable was referenced that is neither a parameter nor a local.
+    UndefinedVariable {
+        /// The variable name.
+        name: String,
+        /// The enclosing function.
+        function: String,
+    },
+    /// An array was referenced that is not a program global.
+    UndefinedArray {
+        /// The array name.
+        name: String,
+    },
+    /// A function was called that does not exist in the program.
+    UndefinedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// An expression mixes integer and floating-point values without a cast.
+    TypeMismatch {
+        /// Description of the offending context.
+        context: String,
+    },
+    /// Too many arguments for the calling convention (max 4 per class).
+    TooManyArguments {
+        /// The function being called.
+        function: String,
+    },
+    /// The expression nests deeper than the scratch register pool allows.
+    ExpressionTooDeep {
+        /// The enclosing function.
+        function: String,
+    },
+    /// The backend failed to assemble the generated code.
+    Assembly {
+        /// The underlying assembler error, formatted.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UndefinedVariable { name, function } => {
+                write!(f, "undefined variable `{name}` in function `{function}`")
+            }
+            CompileError::UndefinedArray { name } => write!(f, "undefined array `{name}`"),
+            CompileError::UndefinedFunction { name } => write!(f, "undefined function `{name}`"),
+            CompileError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            CompileError::TooManyArguments { function } => {
+                write!(f, "too many arguments in call to `{function}`")
+            }
+            CompileError::ExpressionTooDeep { function } => {
+                write!(f, "expression too deep in function `{function}`")
+            }
+            CompileError::Assembly { reason } => write!(f, "assembly failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<janus_ir::IrError> for CompileError {
+    fn from(e: janus_ir::IrError) -> Self {
+        CompileError::Assembly {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_names() {
+        let e = CompileError::UndefinedVariable {
+            name: "x".into(),
+            function: "main".into(),
+        };
+        assert!(e.to_string().contains('x'));
+        assert!(e.to_string().contains("main"));
+    }
+
+    #[test]
+    fn from_ir_error() {
+        let e: CompileError = janus_ir::IrError::UndefinedLabel {
+            label: "loop".into(),
+        }
+        .into();
+        assert!(matches!(e, CompileError::Assembly { .. }));
+    }
+}

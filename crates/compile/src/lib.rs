@@ -1,0 +1,66 @@
+//! # janus-compile — the mini optimising compiler
+//!
+//! Janus operates on *compiler-optimised binaries*; the difficulty of its
+//! static analysis comes from what optimising compilers do to loops (register
+//! allocation, unrolling, peeling, vectorisation). Since neither gcc nor icc
+//! can target the Janus Virtual Architecture, this crate provides the stand-in
+//! compiler: a small loop/array language ([`ast`]) that is lowered to JVA
+//! machine code with a configurable optimisation pipeline ([`CompileOptions`]).
+//!
+//! Supported pipeline features, mirroring the compiler configurations used in
+//! the paper's evaluation:
+//!
+//! * `-O0` (all locals on the stack), `-O2` (register allocation),
+//!   `-O3` (`-O2` + inner-loop unrolling),
+//! * SSE-like (2-lane) and AVX-like (4-lane) vectorisation with scalar
+//!   remainder loops (`-O3 -mavx`),
+//! * a *gcc* and an *icc* personality (icc unrolls and vectorises more
+//!   aggressively),
+//! * `-parallelize`: conservative compiler auto-parallelisation that outlines
+//!   provably independent loops and calls the `par_for` runtime, the baseline
+//!   of Figure 11.
+//!
+//! # Example
+//!
+//! ```
+//! use janus_compile::{ast, CompileOptions, Compiler, OptLevel};
+//!
+//! // for i in 0..100 { a[i] = i * 2 }  then print a[7]
+//! let program = ast::Program::builder("double")
+//!     .global_i64("a", 100)
+//!     .function(
+//!         ast::Function::new("main")
+//!             .local("i", ast::Ty::I64)
+//!             .body(vec![
+//!                 ast::Stmt::simple_for(
+//!                     "i",
+//!                     ast::Expr::const_i(0),
+//!                     ast::Expr::const_i(100),
+//!                     vec![ast::Stmt::assign(
+//!                         ast::LValue::store("a", ast::Expr::var("i")),
+//!                         ast::Expr::mul(ast::Expr::var("i"), ast::Expr::const_i(2)),
+//!                     )],
+//!                 ),
+//!                 ast::Stmt::print(ast::Expr::load("a", ast::Expr::const_i(7))),
+//!             ]),
+//!     )
+//!     .build();
+//! let binary = Compiler::with_options(CompileOptions::opt(OptLevel::O2))
+//!     .compile(&program)
+//!     .expect("compiles");
+//! assert!(binary.num_instructions() > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+mod codegen;
+mod error;
+mod options;
+mod parallelize;
+mod transform;
+
+pub use codegen::Compiler;
+pub use error::{CompileError, Result};
+pub use options::{CompileOptions, OptLevel, Personality, Vectorize};

@@ -1,0 +1,217 @@
+//! Compiler configuration: optimisation level, vectorisation and personality.
+
+/// Optimisation level, mirroring the gcc/icc levels used in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptLevel {
+    /// No optimisation: every local lives on the stack.
+    O0,
+    /// Scalars are register-allocated.
+    O2,
+    /// `-O2` plus inner-loop unrolling (and SSE-style vectorisation when a
+    /// [`Vectorize`] width is selected).
+    #[default]
+    O3,
+}
+
+/// Vectorisation width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Vectorize {
+    /// No vector instructions.
+    #[default]
+    None,
+    /// 2-lane (SSE-like) packed doubles.
+    Sse,
+    /// 4-lane (AVX-like) packed doubles, with alignment peeling.
+    Avx,
+}
+
+impl Vectorize {
+    /// Number of `f64` lanes processed per vector instruction (1 = scalar).
+    #[must_use]
+    pub fn lanes(self) -> u8 {
+        match self {
+            Vectorize::None => 1,
+            Vectorize::Sse => 2,
+            Vectorize::Avx => 4,
+        }
+    }
+}
+
+/// Compiler personality: mimics the stylistic differences between gcc and icc
+/// binaries observed in the paper (icc unrolls more and vectorises more
+/// aggressively, producing fewer iterations per thread for Janus).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Personality {
+    /// gcc-like: unroll by 2 at `-O3`, vectorise only when asked.
+    #[default]
+    Gcc,
+    /// icc-like: unroll by 4 at `-O3` and vectorise whenever profitable.
+    Icc,
+}
+
+/// The full compiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Optimisation level.
+    pub opt_level: OptLevel,
+    /// Vectorisation width.
+    pub vectorize: Vectorize,
+    /// Compiler personality.
+    pub personality: Personality,
+    /// Enable compiler auto-parallelisation (`-ftree-parallelize-loops` /
+    /// `-parallel`); parallelised loops call the `par_for` runtime.
+    pub parallelize: bool,
+    /// Number of threads auto-parallelised loops ask the runtime for.
+    pub parallel_threads: u32,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            opt_level: OptLevel::O3,
+            vectorize: Vectorize::None,
+            personality: Personality::Gcc,
+            parallelize: false,
+            parallel_threads: 8,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options with the given optimisation level and every other field at its
+    /// default value.
+    #[must_use]
+    pub fn opt(opt_level: OptLevel) -> CompileOptions {
+        CompileOptions {
+            opt_level,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// The configuration used for the paper's main evaluation binaries:
+    /// `gcc -O3`.
+    #[must_use]
+    pub fn gcc_o3() -> CompileOptions {
+        CompileOptions::default()
+    }
+
+    /// `gcc -O2`.
+    #[must_use]
+    pub fn gcc_o2() -> CompileOptions {
+        CompileOptions::opt(OptLevel::O2)
+    }
+
+    /// `gcc -O3 -mavx`.
+    #[must_use]
+    pub fn gcc_o3_avx() -> CompileOptions {
+        CompileOptions {
+            vectorize: Vectorize::Avx,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// `icc -O3`.
+    #[must_use]
+    pub fn icc_o3() -> CompileOptions {
+        CompileOptions {
+            personality: Personality::Icc,
+            vectorize: Vectorize::Sse,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// `gcc -O3 -ftree-parallelize-loops=N -floop-parallelize-all`.
+    #[must_use]
+    pub fn gcc_parallel(threads: u32) -> CompileOptions {
+        CompileOptions {
+            parallelize: true,
+            parallel_threads: threads,
+            ..CompileOptions::default()
+        }
+    }
+
+    /// `icc -O3 -parallel`.
+    #[must_use]
+    pub fn icc_parallel(threads: u32) -> CompileOptions {
+        CompileOptions {
+            parallelize: true,
+            parallel_threads: threads,
+            ..CompileOptions::icc_o3()
+        }
+    }
+
+    /// The inner-loop unroll factor implied by this configuration.
+    #[must_use]
+    pub fn unroll_factor(&self) -> usize {
+        match (self.opt_level, self.personality) {
+            (OptLevel::O0 | OptLevel::O2, _) => 1,
+            (OptLevel::O3, Personality::Gcc) => 2,
+            (OptLevel::O3, Personality::Icc) => 4,
+        }
+    }
+
+    /// Whether scalars should be register-allocated.
+    #[must_use]
+    pub fn register_allocate(&self) -> bool {
+        !matches!(self.opt_level, OptLevel::O0)
+    }
+
+    /// A short human-readable description (used as the binary's producer
+    /// string, e.g. `"jcc -O3 -mavx (gcc)"`).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let mut s = String::from("jcc ");
+        s.push_str(match self.opt_level {
+            OptLevel::O0 => "-O0",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        });
+        match self.vectorize {
+            Vectorize::None => {}
+            Vectorize::Sse => s.push_str(" -msse"),
+            Vectorize::Avx => s.push_str(" -mavx"),
+        }
+        if self.parallelize {
+            s.push_str(&format!(" -parallelize={}", self.parallel_threads));
+        }
+        s.push_str(match self.personality {
+            Personality::Gcc => " (gcc)",
+            Personality::Icc => " (icc)",
+        });
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroll_factors_follow_personality() {
+        assert_eq!(CompileOptions::gcc_o2().unroll_factor(), 1);
+        assert_eq!(CompileOptions::gcc_o3().unroll_factor(), 2);
+        assert_eq!(CompileOptions::icc_o3().unroll_factor(), 4);
+        assert_eq!(CompileOptions::opt(OptLevel::O0).unroll_factor(), 1);
+    }
+
+    #[test]
+    fn lanes_by_width() {
+        assert_eq!(Vectorize::None.lanes(), 1);
+        assert_eq!(Vectorize::Sse.lanes(), 2);
+        assert_eq!(Vectorize::Avx.lanes(), 4);
+    }
+
+    #[test]
+    fn describe_mentions_flags() {
+        let d = CompileOptions::gcc_o3_avx().describe();
+        assert!(d.contains("-O3") && d.contains("-mavx") && d.contains("gcc"));
+        let d = CompileOptions::icc_parallel(8).describe();
+        assert!(d.contains("parallelize=8") && d.contains("icc"));
+    }
+
+    #[test]
+    fn o0_disables_register_allocation() {
+        assert!(!CompileOptions::opt(OptLevel::O0).register_allocate());
+        assert!(CompileOptions::gcc_o3().register_allocate());
+    }
+}

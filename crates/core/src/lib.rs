@@ -1,0 +1,788 @@
+//! # janus-core — the end-to-end Janus pipeline
+//!
+//! This crate ties the subsystems together into the automatic-parallelisation
+//! flow of Figure 1(a) of the paper:
+//!
+//! 1. **Static analysis** ([`janus_analysis::analyze`]) over the stripped
+//!    binary, producing loop classifications.
+//! 2. Optional **statically-driven profiling** on a training input
+//!    ([`janus_profile`]): loop coverage plus memory-dependence observation.
+//! 3. **Loop selection**: one loop per nest, preferring outermost static
+//!    DOALL loops and falling back to dynamic DOALL loops when runtime checks
+//!    are enabled; low-coverage loops are filtered when profile data is
+//!    available.
+//! 4. **Rewrite-schedule generation** ([`generate_schedule`]): the selected
+//!    loops are encoded as `LOOP_INIT` / `LOOP_FINISH` / `LOOP_UPDATE_BOUND` /
+//!    `MEM_*` / `TX_*` rules.
+//! 5. **Execution** under the dynamic binary modifier ([`janus_dbm::Dbm`]),
+//!    compared against native execution of the same process.
+//!
+//! The four optimisation levels evaluated in Figure 7 map onto
+//! [`OptimisationMode`]: DynamoRIO-only, statically-driven, statically-driven
+//! with profile guidance, and full Janus (profile + runtime checks +
+//! speculation).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use janus_analysis::{analyze, AnalysisError, BinaryAnalysis, LoopCategory, LoopInfo, VarRef};
+use janus_dbm::{Dbm, DbmConfig, DbmError, DbmRunResult};
+use janus_ir::{Cond, JBinary};
+use janus_profile::{generate_profiling_schedule, profile, ProfileData};
+use janus_schedule::{RewriteRule, RewriteSchedule, RuleId};
+use janus_vm::{Process, RunResult, Vm, VmError};
+use std::fmt;
+
+pub use janus_dbm::{SideSpec, VarSpec};
+
+/// The optimisation levels evaluated in the paper's Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptimisationMode {
+    /// Run under the DBM with an empty rewrite schedule (overhead baseline).
+    DynamoRioOnly,
+    /// Parallelise every statically proven DOALL loop; no profile guidance,
+    /// no runtime checks.
+    StaticallyDriven,
+    /// Statically proven DOALL loops filtered by profile coverage.
+    StaticallyDrivenProfile,
+    /// Full Janus: profile guidance plus runtime checks and speculation,
+    /// covering dynamic DOALL loops as well.
+    #[default]
+    Full,
+}
+
+impl OptimisationMode {
+    /// Whether this mode uses profile information.
+    #[must_use]
+    pub fn uses_profile(self) -> bool {
+        matches!(
+            self,
+            OptimisationMode::StaticallyDrivenProfile | OptimisationMode::Full
+        )
+    }
+
+    /// Whether this mode enables runtime checks and speculation.
+    #[must_use]
+    pub fn uses_runtime_checks(self) -> bool {
+        matches!(self, OptimisationMode::Full)
+    }
+
+    /// Human-readable label (matching the legend of Figure 7).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OptimisationMode::DynamoRioOnly => "DynamoRIO",
+            OptimisationMode::StaticallyDriven => "Statically-Driven",
+            OptimisationMode::StaticallyDrivenProfile => "Statically-Driven + Profile",
+            OptimisationMode::Full => "Janus",
+        }
+    }
+}
+
+/// Configuration of a Janus run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JanusConfig {
+    /// Number of threads for parallel loops.
+    pub threads: u32,
+    /// Which parts of the pipeline to enable.
+    pub mode: OptimisationMode,
+    /// Loops with profile coverage below this fraction are not parallelised
+    /// (only applies when profiling is enabled).
+    pub coverage_threshold: f64,
+    /// Overrides for the DBM cost model.
+    pub dbm: DbmConfig,
+}
+
+impl Default for JanusConfig {
+    fn default() -> Self {
+        JanusConfig {
+            threads: 8,
+            mode: OptimisationMode::Full,
+            coverage_threshold: 0.02,
+            dbm: DbmConfig::default(),
+        }
+    }
+}
+
+/// Errors raised by the pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum JanusError {
+    /// Static analysis failed.
+    Analysis(AnalysisError),
+    /// Native (baseline) execution failed.
+    Native(VmError),
+    /// Execution under the DBM failed.
+    Dbm(DbmError),
+}
+
+impl fmt::Display for JanusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JanusError::Analysis(e) => write!(f, "static analysis failed: {e}"),
+            JanusError::Native(e) => write!(f, "native execution failed: {e}"),
+            JanusError::Dbm(e) => write!(f, "parallel execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JanusError {}
+
+impl From<AnalysisError> for JanusError {
+    fn from(e: AnalysisError) -> Self {
+        JanusError::Analysis(e)
+    }
+}
+impl From<VmError> for JanusError {
+    fn from(e: VmError) -> Self {
+        JanusError::Native(e)
+    }
+}
+impl From<DbmError> for JanusError {
+    fn from(e: DbmError) -> Self {
+        JanusError::Dbm(e)
+    }
+}
+
+/// The result of parallelising and running one binary.
+#[derive(Debug, Clone)]
+pub struct JanusReport {
+    /// Native single-threaded execution result (the baseline).
+    pub native: RunResult,
+    /// Execution under the DBM with the generated rewrite schedule.
+    pub parallel: DbmRunResult,
+    /// Loop ids that were selected for parallelisation.
+    pub selected_loops: Vec<usize>,
+    /// Size of the generated rewrite schedule in bytes.
+    pub schedule_size: u64,
+    /// Size of the executable in bytes (for the Figure 10 ratio).
+    pub binary_size: u64,
+    /// `true` when the parallel run produced exactly the same program output
+    /// as the native run.
+    pub outputs_match: bool,
+    /// Profile data, when profiling was enabled.
+    pub profile: Option<ProfileData>,
+}
+
+impl JanusReport {
+    /// Whole-program speedup of the parallelised execution over native.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.native.cycles as f64 / self.parallel.cycles.max(1) as f64
+    }
+
+    /// Rewrite-schedule size as a fraction of the binary size (Figure 10).
+    #[must_use]
+    pub fn schedule_size_fraction(&self) -> f64 {
+        self.schedule_size as f64 / self.binary_size.max(1) as f64
+    }
+}
+
+/// The Janus automatic binary paralleliser.
+///
+/// # Example
+///
+/// ```
+/// use janus_core::{Janus, JanusConfig};
+/// use janus_compile::{ast, Compiler};
+///
+/// let program = ast::Program::builder("axpy")
+///     .global_f64("x", 8192)
+///     .global_f64("y", 8192)
+///     .function(ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
+///         ast::Stmt::simple_for(
+///             "i",
+///             ast::Expr::const_i(0),
+///             ast::Expr::const_i(8192),
+///             vec![ast::Stmt::assign(
+///                 ast::LValue::store("y", ast::Expr::var("i")),
+///                 ast::Expr::add(
+///                     ast::Expr::mul(ast::Expr::load("x", ast::Expr::var("i")), ast::Expr::const_f(3.0)),
+///                     ast::Expr::load("y", ast::Expr::var("i")),
+///                 ),
+///             )],
+///         ),
+///         ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(100))),
+///     ]))
+///     .build();
+/// let binary = Compiler::new().compile(&program).unwrap();
+/// let janus = Janus::with_config(JanusConfig { threads: 4, ..JanusConfig::default() });
+/// let report = janus.run(&binary, &[]).unwrap();
+/// assert!(report.outputs_match);
+/// assert!(report.speedup() > 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Janus {
+    config: JanusConfig,
+}
+
+impl Janus {
+    /// A paralleliser with the default configuration (8 threads, full mode).
+    #[must_use]
+    pub fn new() -> Janus {
+        Janus::default()
+    }
+
+    /// A paralleliser with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: JanusConfig) -> Janus {
+        Janus { config }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &JanusConfig {
+        &self.config
+    }
+
+    /// Statically analyses a binary.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the binary cannot be decoded.
+    pub fn analyze(&self, binary: &JBinary) -> Result<BinaryAnalysis, JanusError> {
+        Ok(analyze(binary)?)
+    }
+
+    /// Runs the profiling stage on a training input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if profiling execution faults.
+    pub fn profile(
+        &self,
+        binary: &JBinary,
+        analysis: &BinaryAnalysis,
+        train_input: &[i64],
+    ) -> Result<ProfileData, JanusError> {
+        let schedule = generate_profiling_schedule(analysis, binary.producer());
+        let process = Process::load(binary)?;
+        Ok(profile(&process, &schedule, train_input)?)
+    }
+
+    /// Selects the loops to parallelise, one per loop nest.
+    #[must_use]
+    pub fn select_loops(
+        &self,
+        analysis: &BinaryAnalysis,
+        profile: Option<&ProfileData>,
+    ) -> Vec<usize> {
+        let allow_dynamic = self.config.mode.uses_runtime_checks();
+        let eligible = |l: &LoopInfo, want: LoopCategory| -> bool {
+            if l.category != want {
+                return false;
+            }
+            if !rulegen_supported(l) {
+                return false;
+            }
+            if let Some(p) = profile {
+                if self.config.mode.uses_profile() {
+                    if p.coverage(l.id) < self.config.coverage_threshold {
+                        return false;
+                    }
+                    if p.loop_profile(l.id).map_or(false, |lp| lp.observed_dependence) {
+                        return false; // actually a Type D loop
+                    }
+                }
+            }
+            true
+        };
+
+        let mut selected: Vec<usize> = Vec::new();
+        // Helper to test nesting conflicts against already-selected loops.
+        let conflicts = |l: &LoopInfo, selected: &[usize]| -> bool {
+            selected.iter().any(|&sid| {
+                let s = &analysis.loops[sid];
+                if s.function != l.function {
+                    return false;
+                }
+                // Conflict when one contains the other.
+                s.block_addrs.iter().all(|a| l.block_addrs.contains(a))
+                    || l.block_addrs.iter().all(|a| s.block_addrs.contains(a))
+            })
+        };
+        // Pass 1: outermost static DOALL loops.
+        let mut by_depth: Vec<&LoopInfo> = analysis.loops.iter().collect();
+        by_depth.sort_by_key(|l| (l.depth, l.id));
+        for l in &by_depth {
+            if eligible(l, LoopCategory::StaticDoall) && !conflicts(l, &selected) {
+                selected.push(l.id);
+            }
+        }
+        // Pass 2: dynamic DOALL loops (runtime checks / speculation).
+        if allow_dynamic {
+            for l in &by_depth {
+                if eligible(l, LoopCategory::DynamicDoall) && !conflicts(l, &selected) {
+                    selected.push(l.id);
+                }
+            }
+        }
+        selected.sort_unstable();
+        selected
+    }
+
+    /// Generates the parallelisation rewrite schedule for the selected loops.
+    #[must_use]
+    pub fn generate_schedule(
+        &self,
+        binary: &JBinary,
+        analysis: &BinaryAnalysis,
+        selected: &[usize],
+    ) -> RewriteSchedule {
+        let mut schedule = RewriteSchedule::new(binary.producer());
+        schedule.threads = self.config.threads;
+        if self.config.mode == OptimisationMode::DynamoRioOnly {
+            return schedule;
+        }
+        for &id in selected {
+            let l = &analysis.loops[id];
+            emit_loop_rules(&mut schedule, l);
+        }
+        schedule
+    }
+
+    /// Runs the full pipeline on a binary: analysis, optional profiling,
+    /// schedule generation, then both native and DBM execution.
+    ///
+    /// The same `input` is used for training (when profiling is enabled) and
+    /// for the measured runs; callers with distinct train/reference inputs
+    /// should use [`Janus::run_with_inputs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails.
+    pub fn run(&self, binary: &JBinary, input: &[i64]) -> Result<JanusReport, JanusError> {
+        self.run_with_inputs(binary, input, input)
+    }
+
+    /// Runs the full pipeline with separate training and reference inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any stage fails.
+    pub fn run_with_inputs(
+        &self,
+        binary: &JBinary,
+        train_input: &[i64],
+        ref_input: &[i64],
+    ) -> Result<JanusReport, JanusError> {
+        let analysis = self.analyze(binary)?;
+        let profile_data = if self.config.mode.uses_profile() {
+            Some(self.profile(binary, &analysis, train_input)?)
+        } else {
+            None
+        };
+        let selected = self.select_loops(&analysis, profile_data.as_ref());
+        let schedule = self.generate_schedule(binary, &analysis, &selected);
+
+        // Native baseline.
+        let process = Process::load(binary)?;
+        let mut vm = Vm::new(process.clone());
+        vm.set_input(ref_input);
+        let native = vm.run()?;
+        let native_ints = vm.output_ints().to_vec();
+        let native_floats = vm.output_floats().to_vec();
+
+        // Parallel execution under the DBM.
+        let dbm_config = DbmConfig {
+            threads: self.config.threads,
+            enable_runtime_checks: self.config.mode.uses_runtime_checks(),
+            ..self.config.dbm
+        };
+        let mut dbm = Dbm::new(process, &schedule, dbm_config);
+        dbm.set_input(ref_input);
+        let parallel = dbm.run()?;
+
+        let outputs_match = native_ints == parallel.output_ints
+            && native_floats.len() == parallel.output_floats.len()
+            && native_floats
+                .iter()
+                .zip(parallel.output_floats.iter())
+                .all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(1.0));
+
+        Ok(JanusReport {
+            native,
+            parallel,
+            selected_loops: selected,
+            schedule_size: schedule.byte_size(),
+            binary_size: binary.file_size(),
+            outputs_match,
+            profile: profile_data,
+        })
+    }
+}
+
+/// Returns `true` if the rule generator can express this loop.
+fn rulegen_supported(l: &LoopInfo) -> bool {
+    let Some(iv) = &l.induction else { return false };
+    let Some(bound) = &iv.bound else { return false };
+    // Only register-resident induction variables are parallelised. Memory-
+    // resident iterators only occur in unoptimised (-O0) binaries, which the
+    // paper does not target; running them sequentially is always safe.
+    if !matches!(iv.var, VarRef::Reg(_)) {
+        return false;
+    }
+    // Reductions must also live in registers for the same reason.
+    if l.reductions.iter().any(|r| !matches!(r.var, VarRef::Reg(_))) {
+        return false;
+    }
+    !matches!(
+        bound.continue_cond,
+        Cond::Eq | Cond::Below | Cond::AboveEq
+    )
+}
+
+fn cond_code(c: Cond) -> i64 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Le => 3,
+        Cond::Gt => 4,
+        Cond::Ge => 5,
+        Cond::Below => 6,
+        Cond::AboveEq => 7,
+    }
+}
+
+fn var_spec(v: &VarRef) -> Option<VarSpec> {
+    match v {
+        VarRef::Reg(r) => Some(VarSpec::Reg(r.raw())),
+        VarRef::Stack(off) => Some(VarSpec::Stack(*off)),
+        VarRef::Global(_) => None,
+    }
+}
+
+fn side_spec(extent: &janus_analysis::depend::BaseExtent, step: i64) -> SideSpec {
+    match extent.base {
+        janus_analysis::AddressBase::Global(g) => SideSpec {
+            reg: None,
+            base_or_offset: g as i64 + extent.offset,
+            stride: extent.scale * step,
+        },
+        janus_analysis::AddressBase::Reg(r) => SideSpec {
+            reg: Some(r.raw()),
+            base_or_offset: extent.offset,
+            stride: extent.scale * step,
+        },
+    }
+}
+
+/// Emits the parallelisation rules for one selected loop (Figure 2(a) of the
+/// paper shows the equivalent generation pass in the original system).
+fn emit_loop_rules(schedule: &mut RewriteSchedule, l: &LoopInfo) {
+    let iv = l.induction.as_ref().expect("selected loop has induction");
+    let bound = iv.bound.as_ref().expect("selected loop has bound");
+    let Some(ind_spec) = var_spec(&iv.var) else {
+        return;
+    };
+    let id = l.id as i64;
+    let (ind_kind, ind_value) = ind_spec.encode();
+
+    // LOOP_INIT at the loop header.
+    schedule.push(
+        RewriteRule::new(l.header_addr, RuleId::LoopInit)
+            .with_data(0, id)
+            .with_data(1, ind_kind)
+            .with_data(2, ind_value)
+            .with_data(3, iv.step)
+            .with_data(4, bound.cmp_addr as i64)
+            .with_data(5, cond_code(bound.continue_cond)),
+    );
+    schedule.push(RewriteRule::new(l.header_addr, RuleId::ThreadSchedule).with_data(0, id));
+
+    // LOOP_FINISH / THREAD_YIELD at every exit target.
+    for &exit in &l.exit_target_addrs {
+        schedule.push(RewriteRule::new(exit, RuleId::LoopFinish).with_data(0, id));
+        schedule.push(RewriteRule::new(exit, RuleId::ThreadYield).with_data(0, id));
+    }
+
+    // LOOP_UPDATE_BOUND at the controlling comparison.
+    schedule.push(RewriteRule::new(bound.cmp_addr, RuleId::LoopUpdateBound).with_data(0, id));
+
+    // Reductions are privatised per thread and recombined at LOOP_FINISH.
+    for r in &l.reductions {
+        if let Some(spec) = var_spec(&r.var) {
+            let (k, v) = spec.encode();
+            let op = match r.op {
+                janus_analysis::depend::ReductionOp::Add => 0,
+                janus_analysis::depend::ReductionOp::Sub => 1,
+            };
+            schedule.push(
+                RewriteRule::new(l.header_addr, RuleId::MemPrivatise)
+                    .with_data(0, id)
+                    .with_data(1, k)
+                    .with_data(2, v)
+                    .with_data(3, op)
+                    .with_data(4, i64::from(r.is_float)),
+            );
+        }
+    }
+
+    // Runtime array-bounds checks, inserted at the loop entry (the
+    // least-executed point where all inputs are available).
+    for pair in &l.bounds_checks {
+        let a = side_spec(&pair.write, iv.step);
+        let b = side_spec(&pair.other, iv.step);
+        let (a1, a2) = a.encode();
+        let (b1, b2) = b.encode();
+        schedule.push(
+            RewriteRule::new(l.header_addr, RuleId::MemBoundsCheck)
+                .with_data(0, id)
+                .with_data(1, a1)
+                .with_data(2, a2)
+                .with_data(3, b1)
+                .with_data(4, b2),
+        );
+    }
+
+    // Read-only stack accesses are redirected to the main stack.
+    for a in &l.accesses {
+        if let janus_analysis::AccessPattern::StackSlot { offset } = a.pattern {
+            if !a.is_write && l.read_only_stack_slots.contains(&offset) {
+                schedule.push(
+                    RewriteRule::new(a.addr, RuleId::MemMainStack)
+                        .with_data(0, id)
+                        .with_data(1, offset),
+                );
+            }
+        }
+    }
+
+    // Dynamically discovered code (shared-library calls) runs speculatively.
+    for &call in &l.external_call_addrs {
+        schedule.push(RewriteRule::new(call, RuleId::TxStart).with_data(0, id));
+        schedule.push(
+            RewriteRule::new(call + janus_ir::INST_SIZE as u64, RuleId::TxFinish).with_data(0, id),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_compile::{ast, CompileOptions, Compiler};
+
+    fn doall_program(n: i64) -> ast::Program {
+        ast::Program::builder("doall")
+            .global_f64("a", n as usize)
+            .global_f64("b", n as usize)
+            .function(
+                ast::Function::new("main")
+                    .local("i", ast::Ty::I64)
+                    .local("s", ast::Ty::F64)
+                    .body(vec![
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(n),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::store("b", ast::Expr::var("i")),
+                                ast::Expr::add(
+                                    ast::Expr::mul(
+                                        ast::Expr::load("a", ast::Expr::var("i")),
+                                        ast::Expr::const_f(2.0),
+                                    ),
+                                    ast::Expr::const_f(1.0),
+                                ),
+                            )],
+                        ),
+                        ast::Stmt::assign(ast::LValue::var("s"), ast::Expr::const_f(0.0)),
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(n),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::var("s"),
+                                ast::Expr::add(
+                                    ast::Expr::var("s"),
+                                    ast::Expr::load("b", ast::Expr::var("i")),
+                                ),
+                            )],
+                        ),
+                        ast::Stmt::print(ast::Expr::var("s")),
+                    ]),
+            )
+            .build()
+    }
+
+    #[test]
+    fn full_pipeline_parallelises_and_preserves_output() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&doall_program(4096))
+            .unwrap();
+        let janus = Janus::with_config(JanusConfig {
+            threads: 8,
+            ..JanusConfig::default()
+        });
+        let report = janus.run(&bin, &[]).unwrap();
+        assert!(report.outputs_match, "parallel output must equal native");
+        assert!(!report.selected_loops.is_empty());
+        assert!(
+            report.speedup() > 2.0,
+            "expected a clear speedup, got {:.2}",
+            report.speedup()
+        );
+        assert!(report.schedule_size > 0);
+        assert!(report.schedule_size_fraction() < 0.5);
+        assert!(report.parallel.stats.parallel_invocations >= 1);
+    }
+
+    #[test]
+    fn dynamorio_only_mode_adds_overhead_but_no_parallelism() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&doall_program(512))
+            .unwrap();
+        let janus = Janus::with_config(JanusConfig {
+            mode: OptimisationMode::DynamoRioOnly,
+            ..JanusConfig::default()
+        });
+        let report = janus.run(&bin, &[]).unwrap();
+        assert!(report.outputs_match);
+        assert!(report.selected_loops.is_empty() || report.parallel.stats.parallel_invocations == 0);
+        assert!(
+            report.speedup() <= 1.0,
+            "pure DBM execution cannot be faster than native, got {:.3}",
+            report.speedup()
+        );
+    }
+
+    #[test]
+    fn statically_driven_mode_skips_loops_needing_checks() {
+        // A pointer-based kernel needs bounds checks, so only the Full mode
+        // parallelises it.
+        let p = ast::Program::builder("ptr")
+            .global_f64("x", 2048)
+            .global_f64("y", 2048)
+            .function(
+                ast::Function::new("kernel")
+                    .param("d", ast::Ty::Ptr)
+                    .param("s", ast::Ty::Ptr)
+                    .param("n", ast::Ty::I64)
+                    .local("i", ast::Ty::I64)
+                    .body(vec![ast::Stmt::simple_for(
+                        "i",
+                        ast::Expr::const_i(0),
+                        ast::Expr::var("n"),
+                        vec![ast::Stmt::assign(
+                            ast::LValue::store_ptr("d", ast::Expr::var("i")),
+                            ast::Expr::mul(
+                                ast::Expr::load_ptr("s", ast::Expr::var("i")),
+                                ast::Expr::const_f(0.5),
+                            ),
+                        )],
+                    )]),
+            )
+            .function(
+                ast::Function::new("main").body(vec![
+                    ast::Stmt::Call {
+                        name: "kernel".into(),
+                        args: vec![
+                            ast::Expr::addr_of("y"),
+                            ast::Expr::addr_of("x"),
+                            ast::Expr::const_i(2048),
+                        ],
+                        ret: None,
+                    },
+                    ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(33))),
+                ]),
+            )
+            .build();
+        let bin = Compiler::with_options(CompileOptions::gcc_o2()).compile(&p).unwrap();
+
+        let static_only = Janus::with_config(JanusConfig {
+            mode: OptimisationMode::StaticallyDriven,
+            ..JanusConfig::default()
+        })
+        .run(&bin, &[])
+        .unwrap();
+        let full = Janus::new().run(&bin, &[]).unwrap();
+        assert!(static_only.outputs_match && full.outputs_match);
+        assert_eq!(static_only.parallel.stats.parallel_invocations, 0);
+        assert!(full.parallel.stats.parallel_invocations >= 1);
+        assert!(full.parallel.stats.bounds_checks_executed >= 1);
+        assert!(full.speedup() > static_only.speedup());
+    }
+
+    #[test]
+    fn profile_guidance_filters_low_coverage_loops() {
+        // One hot loop and one tiny loop: with profiling only the hot loop is
+        // selected.
+        let p = ast::Program::builder("hotcold")
+            .global_f64("a", 4096)
+            .global_f64("b", 4096)
+            .global_f64("c", 8)
+            .function(
+                ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
+                    ast::Stmt::simple_for(
+                        "i",
+                        ast::Expr::const_i(0),
+                        ast::Expr::const_i(8),
+                        vec![ast::Stmt::assign(
+                            ast::LValue::store("c", ast::Expr::var("i")),
+                            ast::Expr::const_f(2.0),
+                        )],
+                    ),
+                    ast::Stmt::simple_for(
+                        "i",
+                        ast::Expr::const_i(0),
+                        ast::Expr::const_i(4096),
+                        vec![ast::Stmt::assign(
+                            ast::LValue::store("b", ast::Expr::var("i")),
+                            ast::Expr::mul(
+                                ast::Expr::load("a", ast::Expr::var("i")),
+                                ast::Expr::const_f(3.0),
+                            ),
+                        )],
+                    ),
+                    ast::Stmt::print(ast::Expr::load("b", ast::Expr::const_i(5))),
+                ]),
+            )
+            .build();
+        let bin = Compiler::with_options(CompileOptions::gcc_o2()).compile(&p).unwrap();
+        let with_profile = Janus::with_config(JanusConfig {
+            mode: OptimisationMode::StaticallyDrivenProfile,
+            ..JanusConfig::default()
+        })
+        .run(&bin, &[])
+        .unwrap();
+        let without_profile = Janus::with_config(JanusConfig {
+            mode: OptimisationMode::StaticallyDriven,
+            ..JanusConfig::default()
+        })
+        .run(&bin, &[])
+        .unwrap();
+        assert!(with_profile.selected_loops.len() < without_profile.selected_loops.len());
+        assert!(with_profile.outputs_match);
+        assert!(
+            with_profile.speedup() >= without_profile.speedup() * 0.95,
+            "profile guidance should not hurt: {:.2} vs {:.2}",
+            with_profile.speedup(),
+            without_profile.speedup()
+        );
+    }
+
+    #[test]
+    fn thread_scaling_improves_speedup() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&doall_program(8192))
+            .unwrap();
+        let mut last = 0.0;
+        for threads in [1u32, 2, 4, 8] {
+            let report = Janus::with_config(JanusConfig {
+                threads,
+                ..JanusConfig::default()
+            })
+            .run(&bin, &[])
+            .unwrap();
+            assert!(report.outputs_match);
+            let s = report.speedup();
+            assert!(
+                s + 0.05 >= last,
+                "speedup should not degrade with more threads ({threads}): {s:.2} vs {last:.2}"
+            );
+            last = s;
+        }
+        assert!(last > 3.0, "8 threads should give a solid speedup, got {last:.2}");
+    }
+}

@@ -1,0 +1,282 @@
+//! # janus-dbm — the dynamic binary modifier and parallel runtime
+//!
+//! This crate is the reproduction's counterpart of the paper's DynamoRIO
+//! client plus runtime (sections II-A2 and II-E). It executes a guest
+//! process under dynamic binary modification control:
+//!
+//! * the **rewrite-rule interpreter** looks up every newly reached basic
+//!   block in the rewrite schedule's hash index and applies the attached
+//!   handlers (loop-bound updates, stack redirection, bounds checks,
+//!   transaction start/finish) before execution continues from the code
+//!   cache;
+//! * the **code cache model** charges a translation cost the first time a
+//!   block is reached, a dispatch cost until the block becomes hot enough to
+//!   be linked (trace optimisation), and an indirect-branch lookup penalty —
+//!   this is what produces the "DynamoRIO only" overhead bar of Figure 7;
+//! * the **parallel loop runtime** implements `LOOP_INIT`/`LOOP_FINISH`:
+//!   when the main thread reaches a parallelised loop header it verifies any
+//!   `MEM_BOUNDS_CHECK` rules, splits the iteration space over a pool of
+//!   guest threads (each with its own register context, private stack and
+//!   privatised reduction accumulators), rewrites each thread's loop bound,
+//!   runs the threads and merges their contexts back;
+//! * a **just-in-time software transactional memory** wraps dynamically
+//!   discovered code (shared-library calls) in value-validated transactions,
+//!   exactly as Janus does for the `pow` call in bwaves.
+//!
+//! ## Virtual-time parallelism
+//!
+//! The evaluation host has a single CPU core, so the runtime executes guest
+//! threads deterministically, one chunk after another, and reports *virtual*
+//! parallel time: the maximum of the per-thread cycle counts plus the
+//! modelled init/finish overheads. All shared-memory effects are real (the
+//! threads operate on the same guest address space); only the notion of time
+//! is simulated. The resulting [`CycleBreakdown`] is what Figures 7, 8, 9,
+//! 11 and 12 are built from.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod runtime;
+mod stm;
+
+pub use runtime::{Dbm, DbmRunResult, SideSpec, VarSpec};
+pub use stm::TxStats;
+
+use std::fmt;
+
+/// Configuration of the dynamic binary modifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DbmConfig {
+    /// Number of guest threads used for parallelised loops.
+    pub threads: u32,
+    /// Allow dynamic-DOALL loops: evaluate `MEM_BOUNDS_CHECK` rules and run
+    /// shared-library calls under the STM. When `false`, only rules for
+    /// statically proven loops are honoured.
+    pub enable_runtime_checks: bool,
+    /// Cycles charged the first time a basic block is copied into the code
+    /// cache (decode + modify + encode).
+    pub translation_cost: u64,
+    /// Cycles charged per block execution until the block is linked into a
+    /// trace.
+    pub dispatch_cost: u64,
+    /// Number of executions after which a block counts as linked (trace
+    /// optimisation removes its dispatch overhead).
+    pub link_threshold: u64,
+    /// Extra cycles charged for every indirect branch, call or return that
+    /// must go through the DBM's target lookup.
+    pub indirect_lookup_cost: u64,
+    /// Cycles charged per thread to initialise a parallel loop (wake from the
+    /// thread pool, copy initial context).
+    pub loop_init_cost: u64,
+    /// Cycles charged per thread to finish a parallel loop (barrier + merge).
+    pub loop_finish_cost: u64,
+    /// Cycles charged per array-bounds-check pair per loop invocation.
+    pub bounds_check_cost: u64,
+    /// Extra cycles per speculative (transactional) memory read.
+    pub stm_read_cost: u64,
+    /// Extra cycles per speculative (transactional) memory write.
+    pub stm_write_cost: u64,
+    /// Cycles per buffered entry validated/committed at transaction end.
+    pub stm_commit_cost: u64,
+    /// Minimum iterations per thread below which a loop invocation is run
+    /// sequentially (parallelisation would not be profitable).
+    pub min_iterations_per_thread: u64,
+    /// Abort execution after this many virtual cycles.
+    pub cycle_limit: u64,
+}
+
+impl Default for DbmConfig {
+    fn default() -> Self {
+        DbmConfig {
+            threads: 8,
+            enable_runtime_checks: true,
+            translation_cost: 350,
+            dispatch_cost: 3,
+            link_threshold: 16,
+            indirect_lookup_cost: 12,
+            loop_init_cost: 2_200,
+            loop_finish_cost: 1_400,
+            bounds_check_cost: 35,
+            stm_read_cost: 8,
+            stm_write_cost: 14,
+            stm_commit_cost: 16,
+            min_iterations_per_thread: 1,
+            cycle_limit: 200_000_000_000,
+        }
+    }
+}
+
+impl DbmConfig {
+    /// A configuration with `threads` worker threads and defaults otherwise.
+    #[must_use]
+    pub fn with_threads(threads: u32) -> DbmConfig {
+        DbmConfig {
+            threads,
+            ..DbmConfig::default()
+        }
+    }
+}
+
+/// Virtual-cycle breakdown of one execution, mirroring Figure 8 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles spent executing sequential (non-parallelised) guest code.
+    pub sequential: u64,
+    /// Virtual cycles of parallel regions (maximum across the threads of each
+    /// invocation, summed over invocations).
+    pub parallel: u64,
+    /// Thread start/finish overhead of parallel loops.
+    pub init_finish: u64,
+    /// Dynamic translation overhead (code-cache population, dispatch,
+    /// indirect-branch lookups).
+    pub translation: u64,
+    /// Runtime array-bounds checks.
+    pub checks: u64,
+    /// Software-transactional-memory overhead (tracking, validation, commit).
+    pub stm: u64,
+}
+
+impl CycleBreakdown {
+    /// Total virtual execution time.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.sequential + self.parallel + self.init_finish + self.translation + self.checks + self.stm
+    }
+
+    /// The fraction of total time spent in each category, in the order
+    /// (sequential, parallel, init/finish, translation, checks, stm).
+    #[must_use]
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total().max(1) as f64;
+        [
+            self.sequential as f64 / t,
+            self.parallel as f64 / t,
+            self.init_finish as f64 / t,
+            self.translation as f64 / t,
+            self.checks as f64 / t,
+            self.stm as f64 / t,
+        ]
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sequential {} | parallel {} | init/finish {} | translation {} | checks {} | stm {}",
+            self.sequential, self.parallel, self.init_finish, self.translation, self.checks, self.stm
+        )
+    }
+}
+
+/// Counters describing one execution under the DBM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbmStats {
+    /// Cycle breakdown by category.
+    pub breakdown: CycleBreakdown,
+    /// Guest instructions retired (across all threads).
+    pub retired: u64,
+    /// Distinct basic blocks translated into the code cache.
+    pub blocks_translated: u64,
+    /// Total basic-block executions.
+    pub block_executions: u64,
+    /// Parallel loop invocations executed in parallel.
+    pub parallel_invocations: u64,
+    /// Parallel-candidate invocations that fell back to sequential execution
+    /// (failed bounds check or too few iterations).
+    pub sequential_fallbacks: u64,
+    /// Array-bounds-check pairs evaluated.
+    pub bounds_checks_executed: u64,
+    /// Software transactions executed.
+    pub stm_transactions: u64,
+    /// Software transactions aborted and re-executed.
+    pub stm_aborts: u64,
+    /// Speculative reads buffered by the STM.
+    pub stm_reads: u64,
+    /// Speculative writes buffered by the STM.
+    pub stm_writes: u64,
+}
+
+/// Errors raised by the dynamic binary modifier.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DbmError {
+    /// The underlying guest execution faulted.
+    Vm(janus_vm::VmError),
+    /// A rewrite rule was malformed or referred to state the DBM cannot
+    /// locate.
+    BadRule {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The virtual cycle limit was exceeded.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for DbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbmError::Vm(e) => write!(f, "guest execution failed: {e}"),
+            DbmError::BadRule { reason } => write!(f, "bad rewrite rule: {reason}"),
+            DbmError::CycleLimitExceeded { limit } => {
+                write!(f, "virtual cycle limit of {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbmError {}
+
+impl From<janus_vm::VmError> for DbmError {
+    fn from(e: janus_vm::VmError) -> Self {
+        DbmError::Vm(e)
+    }
+}
+
+/// Convenience alias for DBM results.
+pub type Result<T> = std::result::Result<T, DbmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fractions() {
+        let b = CycleBreakdown {
+            sequential: 50,
+            parallel: 30,
+            init_finish: 10,
+            translation: 5,
+            checks: 3,
+            stm: 2,
+        };
+        assert_eq!(b.total(), 100);
+        let f = b.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!(b.to_string().contains("parallel 30"));
+    }
+
+    #[test]
+    fn default_config_is_sensible() {
+        let c = DbmConfig::default();
+        assert_eq!(c.threads, 8);
+        assert!(c.enable_runtime_checks);
+        assert!(c.translation_cost > c.dispatch_cost);
+        assert_eq!(DbmConfig::with_threads(4).threads, 4);
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let e: DbmError = janus_vm::VmError::BadPc { pc: 0x10 }.into();
+        assert!(e.to_string().contains("guest execution failed"));
+        assert!(DbmError::BadRule {
+            reason: "x".into()
+        }
+        .to_string()
+        .contains("bad rewrite rule"));
+    }
+}

@@ -1,0 +1,870 @@
+//! The rewrite-rule-driven execution engine.
+
+use crate::stm::TxView;
+use crate::{DbmConfig, DbmError, DbmStats, Result};
+use janus_ir::{Inst, Operand, Reg, SyscallNum, INST_SIZE, STACK_SIZE};
+use janus_schedule::{RewriteSchedule, RuleId, RuleIndex};
+use janus_vm::{exec_inst, Cpu, Effect, FlatMemory, GuestMemory, Process, ResolvedPlt};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How a scalar variable location is encoded inside rewrite-rule data words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarSpec {
+    /// An architectural register (by raw number).
+    Reg(u8),
+    /// A frame-pointer-relative stack slot.
+    Stack(i64),
+}
+
+impl VarSpec {
+    /// Encodes into `(kind, value)` data words.
+    #[must_use]
+    pub fn encode(self) -> (i64, i64) {
+        match self {
+            VarSpec::Reg(r) => (0, i64::from(r)),
+            VarSpec::Stack(off) => (1, off),
+        }
+    }
+
+    /// Decodes from `(kind, value)` data words.
+    #[must_use]
+    pub fn decode(kind: i64, value: i64) -> Option<VarSpec> {
+        match kind {
+            0 => Some(VarSpec::Reg(value as u8)),
+            1 => Some(VarSpec::Stack(value)),
+            _ => None,
+        }
+    }
+
+    fn read(self, cpu: &Cpu, mem: &mut FlatMemory) -> i64 {
+        match self {
+            VarSpec::Reg(r) => {
+                let reg = Reg::from_raw(r).expect("valid register in rule");
+                if reg.is_gpr() {
+                    cpu.read_gpr(reg)
+                } else {
+                    cpu.read_f64(reg).to_bits() as i64
+                }
+            }
+            VarSpec::Stack(off) => mem.read_i64((cpu.read_gpr(Reg::FP) + off) as u64),
+        }
+    }
+
+    fn write(self, cpu: &mut Cpu, mem: &mut FlatMemory, value: i64) {
+        match self {
+            VarSpec::Reg(r) => {
+                let reg = Reg::from_raw(r).expect("valid register in rule");
+                if reg.is_gpr() {
+                    cpu.write_gpr(reg, value);
+                } else {
+                    cpu.write_f64(reg, f64::from_bits(value as u64));
+                }
+            }
+            VarSpec::Stack(off) => mem.write_i64((cpu.read_gpr(Reg::FP) + off) as u64, value),
+        }
+    }
+}
+
+/// One side of a runtime bounds check, as encoded in `MEM_BOUNDS_CHECK` data
+/// words: either a global array base or a register-held base, plus the byte
+/// stride per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SideSpec {
+    /// `None` for a statically known base, `Some(reg)` for a register base.
+    pub reg: Option<u8>,
+    /// Absolute base (global) or byte offset from the register base.
+    pub base_or_offset: i64,
+    /// Byte stride per loop iteration.
+    pub stride: i64,
+}
+
+impl SideSpec {
+    /// Encodes into two data words.
+    #[must_use]
+    pub fn encode(self) -> (i64, i64) {
+        let w1 = match self.reg {
+            None => self.stride << 16,
+            Some(r) => 1 | (i64::from(r) << 8) | (self.stride << 16),
+        };
+        (w1, self.base_or_offset)
+    }
+
+    /// Decodes from two data words.
+    #[must_use]
+    pub fn decode(w1: i64, w2: i64) -> SideSpec {
+        let is_reg = (w1 & 1) == 1;
+        let reg = if is_reg {
+            Some(((w1 >> 8) & 0xff) as u8)
+        } else {
+            None
+        };
+        SideSpec {
+            reg,
+            base_or_offset: w2,
+            stride: w1 >> 16,
+        }
+    }
+
+    /// The address range `[lo, hi)` touched over `iterations` iterations,
+    /// evaluated against the current register state.
+    fn range(&self, cpu: &Cpu, iterations: i64) -> (i64, i64) {
+        let start = match self.reg {
+            None => self.base_or_offset,
+            Some(r) => {
+                let reg = Reg::from_raw(r).expect("valid register in rule");
+                cpu.read_gpr(reg) + self.base_or_offset
+            }
+        };
+        let span = self.stride * (iterations - 1).max(0);
+        let (lo, hi) = if span >= 0 {
+            (start, start + span)
+        } else {
+            (start + span, start)
+        };
+        (lo, hi + 8)
+    }
+}
+
+/// Per-loop runtime information derived from the rewrite schedule.
+#[derive(Debug, Clone, Default)]
+struct LoopRt {
+    header: u64,
+    induction: Option<VarSpec>,
+    step: i64,
+    bound_cmp_addr: u64,
+    continue_cond: i64,
+    finish_addrs: HashSet<u64>,
+    reductions: Vec<(VarSpec, i64 /*op*/, bool /*float*/)>,
+    bounds_pairs: Vec<(SideSpec, SideSpec)>,
+    tx_calls: HashSet<u64>,
+}
+
+/// The result of running a binary under the dynamic binary modifier.
+#[derive(Debug, Clone)]
+pub struct DbmRunResult {
+    /// Guest exit code.
+    pub exit_code: i64,
+    /// Total virtual execution time in cycles.
+    pub cycles: u64,
+    /// Detailed statistics.
+    pub stats: DbmStats,
+    /// Integers written by the guest.
+    pub output_ints: Vec<i64>,
+    /// Floats written by the guest.
+    pub output_floats: Vec<f64>,
+}
+
+impl DbmRunResult {
+    /// Speedup relative to a native execution that took `native_cycles`.
+    #[must_use]
+    pub fn speedup_vs(&self, native_cycles: u64) -> f64 {
+        native_cycles as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The dynamic binary modifier: executes one process under the control of a
+/// rewrite schedule.
+#[derive(Debug)]
+pub struct Dbm {
+    process: Process,
+    index: RuleIndex,
+    config: DbmConfig,
+    loops: HashMap<usize, LoopRt>,
+
+    mem: FlatMemory,
+    main: Cpu,
+    stats: DbmStats,
+    translated: HashSet<u64>,
+    exec_counts: HashMap<u64, u64>,
+    active_sequential: HashSet<usize>,
+    heap_brk: u64,
+    output_ints: Vec<i64>,
+    output_floats: Vec<f64>,
+    input: VecDeque<i64>,
+    exit_code: i64,
+}
+
+impl Dbm {
+    /// Creates a DBM for `process`, controlled by `schedule`.
+    #[must_use]
+    pub fn new(process: Process, schedule: &RewriteSchedule, config: DbmConfig) -> Dbm {
+        let mut loops: HashMap<usize, LoopRt> = HashMap::new();
+        for rule in schedule.rules() {
+            let entry = loops
+                .entry(rule.loop_id())
+                .or_insert_with(LoopRt::default);
+            match rule.id {
+                RuleId::LoopInit => {
+                    entry.header = rule.addr;
+                    entry.induction = VarSpec::decode(rule.data[1], rule.data[2]);
+                    entry.step = rule.data[3];
+                    entry.bound_cmp_addr = rule.data[4] as u64;
+                    entry.continue_cond = rule.data[5];
+                }
+                RuleId::LoopFinish | RuleId::ThreadYield => {
+                    entry.finish_addrs.insert(rule.addr);
+                }
+                RuleId::MemPrivatise => {
+                    if let Some(var) = VarSpec::decode(rule.data[1], rule.data[2]) {
+                        entry
+                            .reductions
+                            .push((var, rule.data[3], rule.data[4] != 0));
+                    }
+                }
+                RuleId::MemBoundsCheck => {
+                    entry.bounds_pairs.push((
+                        SideSpec::decode(rule.data[1], rule.data[2]),
+                        SideSpec::decode(rule.data[3], rule.data[4]),
+                    ));
+                }
+                RuleId::TxStart => {
+                    entry.tx_calls.insert(rule.addr);
+                }
+                _ => {}
+            }
+        }
+        // Drop loop entries without a LOOP_INIT rule (e.g. profiling-only
+        // schedules) — they cannot drive parallelisation.
+        loops.retain(|_, l| l.header != 0 && l.induction.is_some());
+        let mem = process.initial_memory();
+        let mut main = Cpu::new();
+        main.pc = process.entry();
+        main.set_sp(process.initial_sp());
+        let heap_brk = process.heap_base();
+        Dbm {
+            process,
+            index: schedule.index(),
+            config,
+            loops,
+            mem,
+            main,
+            stats: DbmStats::default(),
+            translated: HashSet::new(),
+            exec_counts: HashMap::new(),
+            active_sequential: HashSet::new(),
+            heap_brk,
+            output_ints: Vec::new(),
+            output_floats: Vec::new(),
+            input: VecDeque::new(),
+            exit_code: 0,
+        }
+    }
+
+    /// Provides simulated standard input.
+    pub fn set_input(&mut self, input: &[i64]) {
+        self.input = input.iter().copied().collect();
+    }
+
+    /// Number of loops the schedule asked the DBM to parallelise.
+    #[must_use]
+    pub fn num_parallel_loops(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Runs the program to completion under DBM control.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if guest execution faults or the cycle limit is
+    /// exceeded.
+    pub fn run(mut self) -> Result<DbmRunResult> {
+        loop {
+            let total = self.main.cycles;
+            if total > self.config.cycle_limit {
+                return Err(DbmError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            let pc = self.main.pc;
+
+            // Rewrite-rule interpretation for the main thread: LOOP_INIT
+            // triggers the parallel loop runtime, LOOP_FINISH clears any
+            // sequential-fallback marker.
+            if self.index.contains(pc) {
+                for rule in self.index.at(pc).to_vec() {
+                    match rule.id {
+                        RuleId::LoopFinish => {
+                            self.active_sequential.remove(&rule.loop_id());
+                        }
+                        RuleId::LoopInit => {
+                            let loop_id = rule.loop_id();
+                            if !self.active_sequential.contains(&loop_id)
+                                && self.loops.contains_key(&loop_id)
+                            {
+                                if self.try_parallel_loop(loop_id)? {
+                                    // Parallel execution advanced main.pc past
+                                    // the loop; restart the dispatch loop.
+                                    continue;
+                                }
+                                self.active_sequential.insert(loop_id);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                // The loop body may have changed `main.pc`; refresh.
+                if self.main.pc != pc {
+                    continue;
+                }
+            }
+
+            self.account_block(pc, true);
+            let inst = self.process.inst_at(pc)?.clone();
+            let next_pc = pc + INST_SIZE as u64;
+            let seq_before = self.main.cycles;
+            let effect = exec_inst(&mut self.main, &mut self.mem, &inst, next_pc)?;
+            self.stats.breakdown.sequential += self.main.cycles - seq_before;
+            self.charge_indirect(&inst);
+            match effect {
+                Effect::Continue => self.main.pc = next_pc,
+                Effect::Jump(t) => self.main.pc = t,
+                Effect::Halt => break,
+                Effect::External { plt } => self.handle_external_main(plt)?,
+                Effect::Syscall { num } => {
+                    if self.handle_syscall(num)? {
+                        break;
+                    }
+                    self.main.pc = next_pc;
+                }
+            }
+        }
+        self.stats.retired += self.main.retired;
+        let cycles = self.stats.breakdown.total();
+        Ok(DbmRunResult {
+            exit_code: self.exit_code,
+            cycles,
+            stats: self.stats,
+            output_ints: self.output_ints,
+            output_floats: self.output_floats,
+        })
+    }
+
+    /// Charges code-cache costs when a block at `pc` starts executing.
+    fn account_block(&mut self, pc: u64, charge_to_main: bool) {
+        // A "block" is approximated by its entry address: the first time it is
+        // reached it must be translated; until it is hot it pays a dispatch
+        // penalty on every execution.
+        let is_block_entry = !self.exec_counts.contains_key(&pc) || self.index.contains(pc);
+        let count = self.exec_counts.entry(pc).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let _ = is_block_entry;
+        let mut overhead = 0;
+        if self.translated.insert(pc) {
+            self.stats.blocks_translated += 1;
+            overhead += self.config.translation_cost;
+        }
+        if count <= self.config.link_threshold {
+            overhead += self.config.dispatch_cost;
+        }
+        self.stats.block_executions += 1;
+        self.stats.breakdown.translation += overhead;
+        if charge_to_main {
+            // Overheads advance main's own notion of time as well so that the
+            // cycle-limit guard still applies.
+            self.main.cycles += 0;
+        }
+    }
+
+    fn charge_indirect(&mut self, inst: &Inst) {
+        if matches!(
+            inst,
+            Inst::JmpInd { .. } | Inst::CallInd { .. } | Inst::CallExt { .. } | Inst::Ret
+        ) {
+            self.stats.breakdown.translation += self.config.indirect_lookup_cost;
+        }
+    }
+
+    fn handle_external_main(&mut self, plt: u32) -> Result<()> {
+        match self.process.resolve_plt(plt)?.clone() {
+            ResolvedPlt::Guest { addr, .. } => {
+                self.main.pc = addr;
+                Ok(())
+            }
+            ResolvedPlt::Native { name } => {
+                match name.as_str() {
+                    "print_i64" => self.output_ints.push(self.main.read_gpr(Reg::R0)),
+                    "print_f64" => self.output_floats.push(self.main.read_f64(Reg::V0)),
+                    // Compiler-parallelised binaries are not run under Janus;
+                    // treat the runtime call as a no-op chunk executor.
+                    "par_for" => {
+                        return Err(DbmError::BadRule {
+                            reason: "par_for runtime calls are not supported under the DBM"
+                                .to_string(),
+                        })
+                    }
+                    other => {
+                        return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
+                            name: other.to_string(),
+                        }))
+                    }
+                }
+                let ret = janus_vm::exec::pop_value(&mut self.main, &mut self.mem) as u64;
+                self.main.pc = ret;
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_syscall(&mut self, num: u32) -> Result<bool> {
+        let call = SyscallNum::from_u32(num)
+            .ok_or(janus_vm::VmError::UnknownSyscall { num })
+            .map_err(DbmError::Vm)?;
+        match call {
+            SyscallNum::Exit => {
+                self.exit_code = self.main.read_gpr(Reg::R0);
+                Ok(true)
+            }
+            SyscallNum::WriteInt => {
+                self.output_ints.push(self.main.read_gpr(Reg::R1));
+                Ok(false)
+            }
+            SyscallNum::WriteFloat => {
+                self.output_floats.push(self.main.read_f64(Reg::V0));
+                Ok(false)
+            }
+            SyscallNum::Sbrk => {
+                let size = self.main.read_gpr(Reg::R1).max(0) as u64;
+                let old = self.heap_brk;
+                self.heap_brk += (size + 7) & !7;
+                self.main.write_gpr(Reg::R0, old as i64);
+                Ok(false)
+            }
+            SyscallNum::Clock => {
+                let c = self.stats.breakdown.total();
+                self.main.write_gpr(Reg::R0, c as i64);
+                Ok(false)
+            }
+            SyscallNum::ReadInt => {
+                let v = self.input.pop_front().unwrap_or(0);
+                self.main.write_gpr(Reg::R0, v);
+                Ok(false)
+            }
+        }
+    }
+
+    /// Computes the number of remaining iterations given start, bound, step
+    /// and the continue condition.
+    fn iteration_count(start: i64, end: i64, step: i64, cond: i64) -> i64 {
+        // cond encoding matches janus_ir::Cond discriminants used by rulegen:
+        // 2 = Lt, 3 = Le, 4 = Gt, 5 = Ge, 1 = Ne (others treated like Lt).
+        let (span, step_abs) = if step > 0 {
+            let end = if cond == 3 { end + 1 } else { end };
+            (end - start, step)
+        } else {
+            let end = if cond == 5 { end - 1 } else { end };
+            (start - end, -step)
+        };
+        if span <= 0 || step_abs == 0 {
+            0
+        } else {
+            (span + step_abs - 1) / step_abs
+        }
+    }
+
+    /// Attempts to run one invocation of loop `loop_id` in parallel.
+    ///
+    /// Returns `true` if the loop was executed (main's context has been
+    /// updated and `main.pc` points after the loop), or `false` if this
+    /// invocation must run sequentially.
+    fn try_parallel_loop(&mut self, loop_id: usize) -> Result<bool> {
+        let lr = self.loops.get(&loop_id).cloned().ok_or(DbmError::BadRule {
+            reason: format!("unknown loop {loop_id}"),
+        })?;
+        let induction = lr.induction.expect("loop has induction variable");
+
+        // Evaluate the current induction value and the loop bound.
+        let start = induction.read(&self.main, &mut self.mem);
+        let bound_inst = self.process.inst_at(lr.bound_cmp_addr)?.clone();
+        let bound_operand = match &bound_inst {
+            Inst::Cmp { rhs, .. } => *rhs,
+            other => {
+                return Err(DbmError::BadRule {
+                    reason: format!("LOOP_UPDATE_BOUND target is not a compare: {other:?}"),
+                })
+            }
+        };
+        let end = self.read_operand_int(&bound_operand);
+        let iterations = Self::iteration_count(start, end, lr.step, lr.continue_cond);
+        let threads = i64::from(self.config.threads.max(1));
+        if iterations < threads * self.config.min_iterations_per_thread.max(1) as i64 {
+            self.stats.sequential_fallbacks += 1;
+            return Ok(false);
+        }
+
+        // Runtime array-bounds checks (MEM_BOUNDS_CHECK).
+        if !lr.bounds_pairs.is_empty() {
+            if !self.config.enable_runtime_checks {
+                self.stats.sequential_fallbacks += 1;
+                return Ok(false);
+            }
+            self.stats.bounds_checks_executed += lr.bounds_pairs.len() as u64;
+            self.stats.breakdown.checks +=
+                self.config.bounds_check_cost * lr.bounds_pairs.len() as u64;
+            for (a, b) in &lr.bounds_pairs {
+                let ra = a.range(&self.main, iterations);
+                let rb = b.range(&self.main, iterations);
+                if ra.0 < rb.1 && rb.0 < ra.1 {
+                    // Overlap: the loop runs sequentially (and the modified
+                    // code for it would be flushed in a real code cache).
+                    self.stats.sequential_fallbacks += 1;
+                    return Ok(false);
+                }
+            }
+        }
+        if !lr.tx_calls.is_empty() && !self.config.enable_runtime_checks {
+            self.stats.sequential_fallbacks += 1;
+            return Ok(false);
+        }
+
+        // Split the iteration space into contiguous chunks.
+        self.stats.parallel_invocations += 1;
+        let chunk = (iterations + threads - 1) / threads;
+        let main_fp = self.main.read_gpr(Reg::FP) as u64;
+        let main_sp = self.main.sp();
+        let frame_lo = main_sp.saturating_sub(256);
+        let frame_hi = main_fp + 768;
+        let frame_bytes = self.mem.read_bytes(frame_lo, (frame_hi - frame_lo) as usize);
+
+        let mut thread_cpus: Vec<Cpu> = Vec::new();
+        let mut exit_pc = None;
+        let mut max_thread_cycles = 0u64;
+        let mut reduction_totals: Vec<i64> = lr
+            .reductions
+            .iter()
+            .map(|(_var, _, is_float)| {
+                if *is_float {
+                    0f64.to_bits() as i64
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        let num_chunks = ((iterations + chunk - 1) / chunk) as usize;
+        for t in 0..num_chunks {
+            let chunk_start_iter = t as i64 * chunk;
+            let chunk_end_iter = ((t as i64 + 1) * chunk).min(iterations);
+            let thread_start = start + chunk_start_iter * lr.step;
+            let thread_end = start + chunk_end_iter * lr.step;
+
+            // Build the thread context: copy of the main context with a
+            // private stack holding a copy of the main frame.
+            let mut cpu = self.main.clone();
+            cpu.cycles = 0;
+            cpu.retired = 0;
+            let delta = (t as u64 + 1) * STACK_SIZE;
+            cpu.write_gpr(Reg::FP, (main_fp - delta) as i64);
+            cpu.set_sp(main_sp - delta);
+            self.mem.write_bytes(frame_lo - delta, &frame_bytes);
+
+            // LOOP_UPDATE_BOUND: the thread's bound is its chunk end.
+            let thread_bound = match lr.continue_cond {
+                3 => thread_end - lr.step,  // Le
+                5 => thread_end - lr.step,  // Ge
+                _ => thread_end,
+            };
+            // Thread-private induction start.
+            induction.write(&mut cpu, &mut self.mem, thread_start);
+            // Privatised reduction accumulators: thread 0 keeps the incoming
+            // value, the others start from the identity.
+            if t > 0 {
+                for (var, _, is_float) in &lr.reductions {
+                    let zero = if *is_float { 0f64.to_bits() as i64 } else { 0 };
+                    var.write(&mut cpu, &mut self.mem, zero);
+                }
+            }
+            self.stats.breakdown.init_finish += self.config.loop_init_cost;
+
+            cpu.pc = lr.header;
+            let stopped_at = self.run_thread(&mut cpu, &lr, thread_bound)?;
+            exit_pc = Some(stopped_at);
+            max_thread_cycles = max_thread_cycles.max(cpu.cycles);
+            self.stats.retired += cpu.retired;
+            self.stats.breakdown.init_finish += self.config.loop_finish_cost;
+
+            // Accumulate reduction contributions.
+            for (idx, (var, op, is_float)) in lr.reductions.iter().enumerate() {
+                let v = var.read(&cpu, &mut self.mem);
+                let total = &mut reduction_totals[idx];
+                if *is_float {
+                    let sum = f64::from_bits(*total as u64);
+                    let val = f64::from_bits(v as u64);
+                    let new = if *op == 1 { sum + val } else { sum + val };
+                    *total = new.to_bits() as i64;
+                } else {
+                    *total = total.wrapping_add(v);
+                }
+            }
+            thread_cpus.push(cpu);
+        }
+
+        // LOOP_FINISH: merge contexts back into the main thread. The last
+        // thread executed the final iterations, so its register state is the
+        // state a sequential execution would have left behind.
+        let last = thread_cpus.last().expect("at least one chunk ran");
+        let saved_sp = self.main.sp();
+        let saved_fp = self.main.read_gpr(Reg::FP);
+        self.main.gpr = last.gpr;
+        self.main.vreg = last.vreg;
+        self.main.flags = last.flags;
+        self.main.set_sp(saved_sp);
+        self.main.write_gpr(Reg::FP, saved_fp);
+        // Stack-slot induction variables live in the (private) frame of the
+        // last thread; propagate the final value to the main frame.
+        if let VarSpec::Stack(_) = induction {
+            let final_value = {
+                let last_cpu = thread_cpus.last().unwrap().clone();
+                let mut tmp = last_cpu;
+                induction.read(&mut tmp, &mut self.mem)
+            };
+            induction.write(&mut self.main, &mut self.mem, final_value);
+        }
+        // Combined reductions overwrite the merged context.
+        for (idx, (var, _, _)) in lr.reductions.iter().enumerate() {
+            var.write(&mut self.main, &mut self.mem, reduction_totals[idx]);
+        }
+        self.stats.breakdown.parallel += max_thread_cycles;
+        self.main.pc = exit_pc.expect("threads stopped at a loop exit");
+        Ok(true)
+    }
+
+    fn read_operand_int(&mut self, op: &Operand) -> i64 {
+        match op {
+            Operand::Imm(v) => *v,
+            Operand::Reg(r) => self.main.read_gpr(*r),
+            Operand::Mem(m) => {
+                let addr = janus_vm::exec::effective_addr(&self.main, m);
+                self.mem.read_i64(addr)
+            }
+        }
+    }
+
+    /// Runs one guest thread from the loop header until it reaches a
+    /// `LOOP_FINISH` address. Returns that address.
+    fn run_thread(&mut self, cpu: &mut Cpu, lr: &LoopRt, thread_bound: i64) -> Result<u64> {
+        loop {
+            if cpu.cycles > self.config.cycle_limit {
+                return Err(DbmError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            let pc = cpu.pc;
+            if lr.finish_addrs.contains(&pc) {
+                return Ok(pc);
+            }
+            self.account_block(pc, false);
+            let mut inst = self.process.inst_at(pc)?.clone();
+            // LOOP_UPDATE_BOUND handler: specialise the loop-bound compare for
+            // this thread's chunk.
+            if pc == lr.bound_cmp_addr {
+                if let Inst::Cmp { lhs, .. } = inst {
+                    inst = Inst::Cmp {
+                        lhs,
+                        rhs: Operand::Imm(thread_bound),
+                    };
+                }
+            }
+            let next_pc = pc + INST_SIZE as u64;
+            // TX_START handler: dynamically discovered code runs under the
+            // just-in-time STM.
+            if lr.tx_calls.contains(&pc) && self.config.enable_runtime_checks {
+                if let Inst::CallExt { plt } = inst {
+                    self.run_transactional_call(cpu, plt, next_pc)?;
+                    cpu.pc = next_pc;
+                    continue;
+                }
+            }
+            self.charge_indirect(&inst);
+            let effect = exec_inst(cpu, &mut self.mem, &inst, next_pc)?;
+            match effect {
+                Effect::Continue => cpu.pc = next_pc,
+                Effect::Jump(t) => cpu.pc = t,
+                Effect::Halt => return Ok(pc),
+                Effect::External { plt } => match self.process.resolve_plt(plt)?.clone() {
+                    ResolvedPlt::Guest { addr, .. } => cpu.pc = addr,
+                    ResolvedPlt::Native { name } => {
+                        match name.as_str() {
+                            "print_i64" => self.output_ints.push(cpu.read_gpr(Reg::R0)),
+                            "print_f64" => self.output_floats.push(cpu.read_f64(Reg::V0)),
+                            other => {
+                                return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
+                                    name: other.to_string(),
+                                }))
+                            }
+                        }
+                        let ret = janus_vm::exec::pop_value(cpu, &mut self.mem) as u64;
+                        cpu.pc = ret;
+                    }
+                },
+                Effect::Syscall { num } => {
+                    // Parallelised loops never contain system calls (the
+                    // static analyser rejects them), but be safe.
+                    let _ = num;
+                    return Err(DbmError::BadRule {
+                        reason: "system call inside a parallelised loop".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Executes an external (shared-library) call speculatively under the
+    /// software transactional memory: the `TX_START` / `TX_FINISH` pair of
+    /// the paper.
+    fn run_transactional_call(&mut self, cpu: &mut Cpu, plt: u32, return_pc: u64) -> Result<()> {
+        let target = match self.process.resolve_plt(plt)?.clone() {
+            ResolvedPlt::Guest { addr, .. } => addr,
+            ResolvedPlt::Native { name } => {
+                // Native helpers have no guest-visible memory effects; run
+                // them directly.
+                match name.as_str() {
+                    "print_i64" => self.output_ints.push(cpu.read_gpr(Reg::R0)),
+                    "print_f64" => self.output_floats.push(cpu.read_f64(Reg::V0)),
+                    other => {
+                        return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
+                            name: other.to_string(),
+                        }))
+                    }
+                }
+                return Ok(());
+            }
+        };
+        self.stats.stm_transactions += 1;
+        let checkpoint = cpu.clone();
+        let mut tx = TxView::new(&mut self.mem);
+        // The call's return address is pushed inside the transaction.
+        janus_vm::exec::push_value(cpu, &mut tx, return_pc as i64);
+        cpu.pc = target;
+        let mut ok = true;
+        loop {
+            if cpu.pc == return_pc {
+                break;
+            }
+            if cpu.cycles > self.config.cycle_limit {
+                ok = false;
+                break;
+            }
+            let pc = cpu.pc;
+            let inst = match self.process.inst_at(pc) {
+                Ok(i) => i.clone(),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            };
+            let next_pc = pc + INST_SIZE as u64;
+            let effect = exec_inst(cpu, &mut tx, &inst, next_pc)?;
+            match effect {
+                Effect::Continue => cpu.pc = next_pc,
+                Effect::Jump(t) => cpu.pc = t,
+                _ => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        let tx_stats = tx.stats();
+        self.stats.stm_reads += tx_stats.reads;
+        self.stats.stm_writes += tx_stats.writes;
+        let stm_cost = tx_stats.reads * self.config.stm_read_cost
+            + tx_stats.writes * self.config.stm_write_cost
+            + (tx_stats.reads + tx_stats.writes) * self.config.stm_commit_cost;
+        self.stats.breakdown.stm += stm_cost;
+        cpu.cycles += stm_cost;
+        let committed = ok && tx.commit();
+        if !committed {
+            // Abort: roll back to the checkpoint and re-execute the call
+            // non-speculatively (the thread is treated as the oldest).
+            self.stats.stm_aborts += 1;
+            *cpu = checkpoint;
+            janus_vm::exec::push_value(cpu, &mut self.mem, return_pc as i64);
+            cpu.pc = target;
+            loop {
+                if cpu.pc == return_pc {
+                    break;
+                }
+                let pc = cpu.pc;
+                let inst = self.process.inst_at(pc)?.clone();
+                let next_pc = pc + INST_SIZE as u64;
+                match exec_inst(cpu, &mut self.mem, &inst, next_pc)? {
+                    Effect::Continue => cpu.pc = next_pc,
+                    Effect::Jump(t) => cpu.pc = t,
+                    _ => {
+                        return Err(DbmError::BadRule {
+                            reason: "unsupported control flow in shared-library call".to_string(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varspec_encoding_round_trip() {
+        for spec in [VarSpec::Reg(4), VarSpec::Reg(31), VarSpec::Stack(-64)] {
+            let (k, v) = spec.encode();
+            assert_eq!(VarSpec::decode(k, v), Some(spec));
+        }
+        assert_eq!(VarSpec::decode(9, 0), None);
+    }
+
+    #[test]
+    fn sidespec_encoding_round_trip() {
+        for spec in [
+            SideSpec {
+                reg: None,
+                base_or_offset: 0x600000,
+                stride: 8,
+            },
+            SideSpec {
+                reg: Some(5),
+                base_or_offset: 16,
+                stride: 32,
+            },
+            SideSpec {
+                reg: Some(9),
+                base_or_offset: -8,
+                stride: -16,
+            },
+        ] {
+            let (a, b) = spec.encode();
+            assert_eq!(SideSpec::decode(a, b), spec);
+        }
+    }
+
+    #[test]
+    fn iteration_count_matches_loop_semantics() {
+        // for (i = 0; i < 100; i += 1)
+        assert_eq!(Dbm::iteration_count(0, 100, 1, 2), 100);
+        // for (i = 0; i <= 100; i += 1)
+        assert_eq!(Dbm::iteration_count(0, 100, 1, 3), 101);
+        // for (i = 0; i < 100; i += 3)
+        assert_eq!(Dbm::iteration_count(0, 100, 3, 2), 34);
+        // for (i = 100; i > 0; i -= 1)
+        assert_eq!(Dbm::iteration_count(100, 0, -1, 4), 100);
+        // empty
+        assert_eq!(Dbm::iteration_count(10, 10, 1, 2), 0);
+        assert_eq!(Dbm::iteration_count(20, 10, 1, 2), 0);
+    }
+
+    #[test]
+    fn sidespec_range_uses_register_base() {
+        let mut cpu = Cpu::new();
+        cpu.write_gpr(Reg::R5, 0x1000);
+        let s = SideSpec {
+            reg: Some(Reg::R5.raw()),
+            base_or_offset: 8,
+            stride: 8,
+        };
+        let (lo, hi) = s.range(&cpu, 10);
+        assert_eq!(lo, 0x1008);
+        assert_eq!(hi, 0x1008 + 9 * 8 + 8);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type for IR encoding, decoding and assembly.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, IrError>;
+
+/// Errors produced while encoding, decoding or assembling JVA code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// The byte stream ended in the middle of an instruction.
+    TruncatedInstruction {
+        /// Address at which decoding was attempted.
+        addr: u64,
+        /// Number of bytes that were available.
+        available: usize,
+    },
+    /// An opcode byte did not correspond to any known instruction.
+    InvalidOpcode {
+        /// Address of the faulting instruction.
+        addr: u64,
+        /// The opcode byte found.
+        opcode: u8,
+    },
+    /// An operand descriptor was malformed.
+    InvalidOperand {
+        /// Address of the faulting instruction.
+        addr: u64,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A register number was out of range for its class.
+    InvalidRegister {
+        /// The raw register index.
+        index: u8,
+    },
+    /// A label was referenced but never defined during assembly.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined more than once during assembly.
+    DuplicateLabel {
+        /// The offending label.
+        label: String,
+    },
+    /// The binary container was malformed.
+    MalformedBinary {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A symbol lookup failed.
+    UnknownSymbol {
+        /// The missing symbol.
+        name: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::TruncatedInstruction { addr, available } => write!(
+                f,
+                "truncated instruction at {addr:#x} ({available} bytes available)"
+            ),
+            IrError::InvalidOpcode { addr, opcode } => {
+                write!(f, "invalid opcode {opcode:#x} at {addr:#x}")
+            }
+            IrError::InvalidOperand { addr, reason } => {
+                write!(f, "invalid operand at {addr:#x}: {reason}")
+            }
+            IrError::InvalidRegister { index } => write!(f, "invalid register index {index}"),
+            IrError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            IrError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            IrError::MalformedBinary { reason } => write!(f, "malformed binary: {reason}"),
+            IrError::UnknownSymbol { name } => write!(f, "unknown symbol `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = vec![
+            IrError::TruncatedInstruction {
+                addr: 0x400000,
+                available: 3,
+            },
+            IrError::InvalidOpcode {
+                addr: 0x400020,
+                opcode: 0xff,
+            },
+            IrError::InvalidOperand {
+                addr: 0x1,
+                reason: "bad scale".into(),
+            },
+            IrError::InvalidRegister { index: 200 },
+            IrError::UndefinedLabel {
+                label: "loop".into(),
+            },
+            IrError::DuplicateLabel {
+                label: "loop".into(),
+            },
+            IrError::MalformedBinary {
+                reason: "bad magic".into(),
+            },
+            IrError::UnknownSymbol {
+                name: "main".into(),
+            },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IrError>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Canonical address-space layout for JVA processes.
+//!
+//! The layout mirrors a conventional x86-64 Linux process so that the static
+//! analyser and the dynamic binary modifier can reason about "stack",
+//! "heap/global" and "shared library" address ranges the same way the paper's
+//! system does.
+
+/// Base virtual address of the main executable's `.text` section.
+pub const TEXT_BASE: u64 = 0x0040_0000;
+
+/// Base virtual address of the main executable's `.data`/`.bss` sections.
+pub const DATA_BASE: u64 = 0x0060_0000;
+
+/// Base virtual address of the simulated heap (`sbrk` region).
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// Base virtual address of the shared system library's `.text` section.
+///
+/// Code above this address is *not* covered by the static analyser's rewrite
+/// schedule and is therefore "dynamically discovered" at runtime, exactly as
+/// shared-library code is in the paper.
+pub const SYSLIB_BASE: u64 = 0x7000_0000;
+
+/// Base virtual address of the shared system library's data section.
+pub const SYSLIB_DATA_BASE: u64 = 0x7800_0000;
+
+/// Top-of-stack address of the main thread. The stack grows downwards.
+pub const STACK_BASE: u64 = 0x7fff_0000;
+
+/// Default size in bytes reserved for each thread's stack.
+pub const STACK_SIZE: u64 = 0x0010_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        assert!(TEXT_BASE < DATA_BASE);
+        assert!(DATA_BASE < HEAP_BASE);
+        assert!(HEAP_BASE < SYSLIB_BASE);
+        assert!(SYSLIB_BASE < SYSLIB_DATA_BASE);
+        assert!(SYSLIB_DATA_BASE < STACK_BASE - STACK_SIZE);
+    }
+
+    #[test]
+    fn stack_region_is_nonempty() {
+        assert!(STACK_SIZE > 0);
+        assert!(STACK_BASE > STACK_SIZE);
+    }
+}

@@ -1,0 +1,251 @@
+//! Architectural registers of the Janus Virtual Architecture.
+
+use std::fmt;
+
+/// Number of general-purpose (integer) registers.
+pub const NUM_GPR: usize = 16;
+/// Number of vector/floating-point registers.
+pub const NUM_VREG: usize = 16;
+
+/// Register class: integer general-purpose or vector/floating-point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// 64-bit integer general-purpose register.
+    Gpr,
+    /// 256-bit vector register holding four `f64` lanes (lane 0 doubles as the
+    /// scalar floating-point register).
+    Vec,
+}
+
+/// An architectural register.
+///
+/// Registers `R0`–`R15` are 64-bit integer registers; `R15` is the stack
+/// pointer and `R14` the frame pointer by software convention. `V0`–`V15`
+/// are 256-bit vector registers whose lane 0 doubles as the scalar
+/// floating-point register.
+///
+/// # Example
+///
+/// ```
+/// use janus_ir::{Reg, RegClass};
+/// assert_eq!(Reg::SP, Reg::R15);
+/// assert_eq!(Reg::V3.class(), RegClass::Vec);
+/// assert_eq!(Reg::R7.index(), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+macro_rules! gpr_consts {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("General-purpose register ", stringify!($name), ".")]
+            pub const $name: Reg = Reg($idx);
+        )*
+    };
+}
+
+macro_rules! vreg_consts {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("Vector register ", stringify!($name), ".")]
+            pub const $name: Reg = Reg(16 + $idx);
+        )*
+    };
+}
+
+impl Reg {
+    gpr_consts! {
+        R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+        R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    }
+    vreg_consts! {
+        V0 = 0, V1 = 1, V2 = 2, V3 = 3, V4 = 4, V5 = 5, V6 = 6, V7 = 7,
+        V8 = 8, V9 = 9, V10 = 10, V11 = 11, V12 = 12, V13 = 13, V14 = 14, V15 = 15,
+    }
+
+    /// The stack pointer (alias of [`Reg::R15`]).
+    pub const SP: Reg = Reg::R15;
+    /// The frame pointer (alias of [`Reg::R14`]).
+    pub const FP: Reg = Reg::R14;
+    /// Register used for function return values and the first argument
+    /// (alias of [`Reg::R0`]).
+    pub const RET: Reg = Reg::R0;
+
+    /// Creates a general-purpose register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_GPR`.
+    #[must_use]
+    pub fn gpr(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_GPR,
+            "gpr index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Creates a vector register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_VREG`.
+    #[must_use]
+    pub fn vreg(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_VREG,
+            "vector register index {index} out of range"
+        );
+        Reg(16 + index)
+    }
+
+    /// Creates a register from its raw encoding, if valid.
+    #[must_use]
+    pub fn from_raw(raw: u8) -> Option<Reg> {
+        if (raw as usize) < NUM_GPR + NUM_VREG {
+            Some(Reg(raw))
+        } else {
+            None
+        }
+    }
+
+    /// The raw encoding of this register (0–31).
+    #[must_use]
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The index of this register within its class (0–15).
+    #[must_use]
+    pub fn index(self) -> u8 {
+        self.0 % 16
+    }
+
+    /// The class (integer or vector) of this register.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        if self.0 < 16 {
+            RegClass::Gpr
+        } else {
+            RegClass::Vec
+        }
+    }
+
+    /// Returns `true` for integer general-purpose registers.
+    #[must_use]
+    pub fn is_gpr(self) -> bool {
+        self.class() == RegClass::Gpr
+    }
+
+    /// Returns `true` for vector registers.
+    #[must_use]
+    pub fn is_vec(self) -> bool {
+        self.class() == RegClass::Vec
+    }
+
+    /// Returns `true` if this register is the stack pointer.
+    #[must_use]
+    pub fn is_sp(self) -> bool {
+        self == Reg::SP
+    }
+
+    /// Iterator over all general-purpose registers.
+    pub fn all_gprs() -> impl Iterator<Item = Reg> {
+        (0..NUM_GPR as u8).map(Reg)
+    }
+
+    /// Iterator over all vector registers.
+    pub fn all_vregs() -> impl Iterator<Item = Reg> {
+        (0..NUM_VREG as u8).map(|i| Reg(16 + i))
+    }
+
+    /// Iterator over every architectural register.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..(NUM_GPR + NUM_VREG) as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Gpr => {
+                if *self == Reg::SP {
+                    write!(f, "sp")
+                } else if *self == Reg::FP {
+                    write!(f, "fp")
+                } else {
+                    write!(f, "r{}", self.index())
+                }
+            }
+            RegClass::Vec => write!(f, "v{}", self.index()),
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Reg({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_match_indices() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::FP, Reg::R14);
+        assert_eq!(Reg::RET, Reg::R0);
+        assert!(Reg::SP.is_sp());
+        assert!(!Reg::R3.is_sp());
+    }
+
+    #[test]
+    fn class_and_index_round_trip() {
+        for r in Reg::all_gprs() {
+            assert_eq!(r.class(), RegClass::Gpr);
+            assert_eq!(Reg::gpr(r.index()), r);
+        }
+        for r in Reg::all_vregs() {
+            assert_eq!(r.class(), RegClass::Vec);
+            assert_eq!(Reg::vreg(r.index()), r);
+        }
+    }
+
+    #[test]
+    fn raw_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::from_raw(r.raw()), Some(r));
+        }
+        assert_eq!(Reg::from_raw(32), None);
+        assert_eq!(Reg::from_raw(255), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_out_of_range_panics() {
+        let _ = Reg::gpr(16);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn vreg_out_of_range_panics() {
+        let _ = Reg::vreg(16);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R0.to_string(), "r0");
+        assert_eq!(Reg::R15.to_string(), "sp");
+        assert_eq!(Reg::R14.to_string(), "fp");
+        assert_eq!(Reg::V4.to_string(), "v4");
+    }
+
+    #[test]
+    fn all_counts() {
+        assert_eq!(Reg::all_gprs().count(), NUM_GPR);
+        assert_eq!(Reg::all_vregs().count(), NUM_VREG);
+        assert_eq!(Reg::all().count(), NUM_GPR + NUM_VREG);
+    }
+}

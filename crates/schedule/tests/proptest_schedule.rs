@@ -1,0 +1,83 @@
+//! Property-based tests for rewrite-schedule serialisation and indexing.
+
+use janus_schedule::{RewriteRule, RewriteSchedule, RuleId, RULE_DATA_WORDS};
+use proptest::prelude::*;
+
+fn arb_rule_id() -> impl Strategy<Value = RuleId> {
+    (0usize..RuleId::ALL.len()).prop_map(|i| RuleId::ALL[i])
+}
+
+fn arb_rule() -> impl Strategy<Value = RewriteRule> {
+    (
+        any::<u32>(),
+        arb_rule_id(),
+        proptest::array::uniform6(any::<i64>()),
+    )
+        .prop_map(|(addr, id, data)| {
+            let mut rule = RewriteRule::new(u64::from(addr), id);
+            for (i, d) in data.iter().enumerate().take(RULE_DATA_WORDS) {
+                rule = rule.with_data(i, *d);
+            }
+            rule
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schedules_round_trip_through_bytes(
+        name in "[ -~]{0,24}",
+        threads in any::<u32>(),
+        rules in proptest::collection::vec(arb_rule(), 0..64),
+    ) {
+        let mut schedule = RewriteSchedule::new(name);
+        schedule.threads = threads;
+        for r in &rules {
+            schedule.push(*r);
+        }
+        let bytes = schedule.to_bytes();
+        let back = RewriteSchedule::from_bytes(&bytes).expect("deserialises");
+        prop_assert_eq!(back, schedule);
+    }
+
+    #[test]
+    fn truncated_schedules_never_panic(
+        rules in proptest::collection::vec(arb_rule(), 1..16),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut schedule = RewriteSchedule::new("t");
+        for r in &rules {
+            schedule.push(*r);
+        }
+        let bytes = schedule.to_bytes();
+        let cut = cut.index(bytes.len());
+        // Either an error or (for cuts beyond the rule array) a valid prefix;
+        // never a panic.
+        let _ = RewriteSchedule::from_bytes(&bytes[..cut]);
+    }
+
+    #[test]
+    fn index_preserves_rule_order_and_membership(
+        rules in proptest::collection::vec(arb_rule(), 0..64),
+    ) {
+        let mut schedule = RewriteSchedule::new("t");
+        for r in &rules {
+            schedule.push(*r);
+        }
+        let index = schedule.index();
+        for r in &rules {
+            let at = index.at(r.addr);
+            prop_assert!(at.iter().any(|x| x == r));
+            // Schedule order is preserved within one address.
+            let expected: Vec<_> = schedule.rules_at(r.addr).copied().collect();
+            prop_assert_eq!(at, expected.as_slice());
+        }
+        let total: usize = rules
+            .iter()
+            .map(|r| r.addr)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        prop_assert_eq!(index.len(), total);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error type for guest execution.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, VmError>;
+
+/// Errors raised while executing guest code.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// The program counter left every mapped text section.
+    BadPc {
+        /// The faulting program counter.
+        pc: u64,
+    },
+    /// An instruction failed to decode.
+    Decode {
+        /// The underlying IR error, formatted.
+        reason: String,
+    },
+    /// Integer division by zero.
+    DivisionByZero {
+        /// Address of the faulting instruction.
+        pc: u64,
+    },
+    /// A PLT index had no resolution.
+    UnresolvedPlt {
+        /// The PLT index.
+        plt: u32,
+    },
+    /// An unknown external function name was called.
+    UnknownExternal {
+        /// The function name.
+        name: String,
+    },
+    /// An unknown system call number was used.
+    UnknownSyscall {
+        /// The syscall number.
+        num: u32,
+    },
+    /// The cycle budget was exhausted (runaway program guard).
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The guest stack over- or under-flowed its reserved region.
+    StackOverflow {
+        /// The faulting stack pointer value.
+        sp: u64,
+    },
+    /// The binary could not be loaded.
+    Load {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::BadPc { pc } => write!(f, "program counter {pc:#x} is not mapped"),
+            VmError::Decode { reason } => write!(f, "instruction decode failed: {reason}"),
+            VmError::DivisionByZero { pc } => write!(f, "integer division by zero at {pc:#x}"),
+            VmError::UnresolvedPlt { plt } => write!(f, "unresolved plt entry {plt}"),
+            VmError::UnknownExternal { name } => write!(f, "unknown external function `{name}`"),
+            VmError::UnknownSyscall { num } => write!(f, "unknown system call {num}"),
+            VmError::CycleLimitExceeded { limit } => {
+                write!(f, "cycle limit of {limit} exceeded")
+            }
+            VmError::StackOverflow { sp } => write!(f, "stack overflow (sp = {sp:#x})"),
+            VmError::Load { reason } => write!(f, "failed to load process: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<janus_ir::IrError> for VmError {
+    fn from(e: janus_ir::IrError) -> Self {
+        VmError::Decode {
+            reason: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(VmError::BadPc { pc: 0x1234 }.to_string().contains("0x1234"));
+        assert!(VmError::UnknownExternal {
+            name: "zap".to_string()
+        }
+        .to_string()
+        .contains("zap"));
+    }
+
+    #[test]
+    fn converts_from_ir_error() {
+        let ir = janus_ir::IrError::InvalidRegister { index: 99 };
+        let vm: VmError = ir.into();
+        assert!(matches!(vm, VmError::Decode { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VmError>();
+    }
+}

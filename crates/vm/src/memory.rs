@@ -1,0 +1,233 @@
+//! Guest memory: the flat virtual address space and the access trait used to
+//! interpose on loads and stores.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// The interface through which executed instructions access guest memory.
+///
+/// The dynamic binary modifier interposes on this trait to implement memory
+/// privatisation, main-stack redirection and software transactional memory:
+/// translated code runs against a wrapper view instead of the raw
+/// [`FlatMemory`].
+pub trait GuestMemory {
+    /// Reads one byte.
+    fn read_u8(&mut self, addr: u64) -> u8;
+    /// Writes one byte.
+    fn write_u8(&mut self, addr: u64, value: u8);
+
+    /// Reads a little-endian 64-bit value.
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian 64-bit value.
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an `i64`.
+    fn read_i64(&mut self, addr: u64) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Writes an `i64`.
+    fn write_i64(&mut self, addr: u64, value: i64) {
+        self.write_u64(addr, value as u64);
+    }
+
+    /// Reads an `f64`.
+    fn read_f64(&mut self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64`.
+    fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies `data.len()` bytes into guest memory starting at `addr`.
+    fn write_bytes(&mut self, addr: u64, data: &[u8]) {
+        for (i, b) in data.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    fn read_bytes(&mut self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+/// A sparse, page-granular flat address space. Unmapped memory reads as zero.
+#[derive(Debug, Default, Clone)]
+pub struct FlatMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Number of load operations serviced (for statistics).
+    pub loads: u64,
+    /// Number of store operations serviced (for statistics).
+    pub stores: u64,
+}
+
+impl FlatMemory {
+    /// Creates an empty address space.
+    #[must_use]
+    pub fn new() -> FlatMemory {
+        FlatMemory::default()
+    }
+
+    fn page_of(addr: u64) -> (u64, usize) {
+        (addr >> PAGE_SHIFT, (addr & (PAGE_SIZE as u64 - 1)) as usize)
+    }
+
+    /// Number of pages currently mapped.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Fast aligned 64-bit read used internally when the access does not
+    /// cross a page boundary.
+    fn read_u64_fast(&mut self, addr: u64) -> Option<u64> {
+        let (page, off) = Self::page_of(addr);
+        if off + 8 <= PAGE_SIZE {
+            let p = self.pages.get(&page)?;
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&p[off..off + 8]);
+            Some(u64::from_le_bytes(b))
+        } else {
+            None
+        }
+    }
+
+    fn write_u64_fast(&mut self, addr: u64, value: u64) -> bool {
+        let (page, off) = Self::page_of(addr);
+        if off + 8 <= PAGE_SIZE {
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[off..off + 8].copy_from_slice(&value.to_le_bytes());
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl GuestMemory for FlatMemory {
+    fn read_u8(&mut self, addr: u64) -> u8 {
+        self.loads += 1;
+        let (page, off) = Self::page_of(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        self.stores += 1;
+        let (page, off) = Self::page_of(addr);
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        p[off] = value;
+    }
+
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        self.loads += 1;
+        if let Some(v) = self.read_u64_fast(addr) {
+            return v;
+        }
+        let (page, _) = Self::page_of(addr);
+        if !self.pages.contains_key(&page) && !self.pages.contains_key(&(page + 1)) {
+            return 0;
+        }
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let (p, off) = Self::page_of(addr + i as u64);
+            *b = self.pages.get(&p).map_or(0, |pg| pg[off]);
+        }
+        u64::from_le_bytes(bytes)
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        self.stores += 1;
+        if self.write_u64_fast(addr, value) {
+            return;
+        }
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            let (page, off) = Self::page_of(addr + i as u64);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[off] = *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let mut m = FlatMemory::new();
+        assert_eq!(m.read_u8(0x12345), 0);
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+        assert_eq!(m.mapped_pages(), 0, "reads do not allocate pages");
+    }
+
+    #[test]
+    fn u64_round_trip_aligned_and_unaligned() {
+        let mut m = FlatMemory::new();
+        m.write_u64(0x1000, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1000), 0x0123_4567_89ab_cdef);
+        // Crosses a page boundary.
+        let addr = 0x1ffc;
+        m.write_u64(addr, 0xfeed_f00d_dead_beef);
+        assert_eq!(m.read_u64(addr), 0xfeed_f00d_dead_beef);
+    }
+
+    #[test]
+    fn f64_and_i64_round_trip() {
+        let mut m = FlatMemory::new();
+        m.write_f64(0x2000, -3.25);
+        assert_eq!(m.read_f64(0x2000), -3.25);
+        m.write_i64(0x2008, -99);
+        assert_eq!(m.read_i64(0x2008), -99);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let mut m = FlatMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        m.write_bytes(0x0fff, &data); // crosses a page boundary
+        assert_eq!(m.read_bytes(0x0fff, 256), data);
+    }
+
+    #[test]
+    fn statistics_count_accesses() {
+        let mut m = FlatMemory::new();
+        m.write_u64(0x100, 1);
+        let _ = m.read_u64(0x100);
+        let _ = m.read_u8(0x100);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.loads, 2);
+    }
+
+    #[test]
+    fn partial_overwrite_behaves_byte_wise() {
+        let mut m = FlatMemory::new();
+        m.write_u64(0x3000, u64::MAX);
+        m.write_u8(0x3000, 0);
+        assert_eq!(m.read_u64(0x3000), u64::MAX << 8);
+    }
+}

@@ -1,0 +1,272 @@
+//! Process images: a loaded main binary plus the shared system library.
+
+use crate::error::{Result, VmError};
+use crate::memory::{FlatMemory, GuestMemory};
+use crate::syslib::build_syslib;
+use janus_ir::{disassemble, Inst, JBinary, HEAP_BASE, INST_SIZE, STACK_BASE};
+
+/// Resolution of one PLT entry performed by the loader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolvedPlt {
+    /// The import resolves to guest code in the shared system library.
+    Guest {
+        /// Entry address of the function.
+        addr: u64,
+        /// The imported name.
+        name: String,
+    },
+    /// The import resolves to a native runtime service (e.g. the
+    /// compiler-parallelisation runtime used for Figure 11 baselines).
+    Native {
+        /// The imported name.
+        name: String,
+    },
+}
+
+/// Names serviced natively by the VM rather than by system-library code.
+pub const NATIVE_EXTERNALS: &[&str] = &["par_for", "print_i64", "print_f64"];
+
+/// A loaded process: the main executable, the shared system library and the
+/// pre-decoded instruction streams for both.
+#[derive(Debug, Clone)]
+pub struct Process {
+    binary: JBinary,
+    syslib: JBinary,
+    main_insts: Vec<Inst>,
+    syslib_insts: Vec<Inst>,
+    plt: Vec<ResolvedPlt>,
+}
+
+impl Process {
+    /// Loads a main binary together with the standard system library.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the binary fails to decode or imports a function
+    /// that neither the system library nor the native runtime provides.
+    pub fn load(binary: &JBinary) -> Result<Process> {
+        Process::load_with_syslib(binary, build_syslib())
+    }
+
+    /// Loads a main binary with a caller-provided library image.
+    ///
+    /// # Errors
+    ///
+    /// See [`Process::load`].
+    pub fn load_with_syslib(binary: &JBinary, syslib: JBinary) -> Result<Process> {
+        let main_insts = disassemble(binary)
+            .map_err(|e| VmError::Load {
+                reason: format!("main binary: {e}"),
+            })?
+            .into_iter()
+            .map(|d| d.inst)
+            .collect();
+        let syslib_insts = disassemble(&syslib)
+            .map_err(|e| VmError::Load {
+                reason: format!("system library: {e}"),
+            })?
+            .into_iter()
+            .map(|d| d.inst)
+            .collect();
+        let mut plt = Vec::with_capacity(binary.plt().len());
+        for entry in binary.plt() {
+            let name = entry.name.clone();
+            if let Ok(sym) = syslib.symbol(&name) {
+                plt.push(ResolvedPlt::Guest {
+                    addr: sym.addr,
+                    name,
+                });
+            } else if NATIVE_EXTERNALS.contains(&name.as_str()) {
+                plt.push(ResolvedPlt::Native { name });
+            } else {
+                return Err(VmError::UnknownExternal { name });
+            }
+        }
+        Ok(Process {
+            binary: binary.clone(),
+            syslib,
+            main_insts,
+            syslib_insts,
+            plt,
+        })
+    }
+
+    /// The main executable.
+    #[must_use]
+    pub fn binary(&self) -> &JBinary {
+        &self.binary
+    }
+
+    /// The shared system library image.
+    #[must_use]
+    pub fn syslib(&self) -> &JBinary {
+        &self.syslib
+    }
+
+    /// PLT resolutions, indexed by PLT entry number.
+    #[must_use]
+    pub fn plt(&self) -> &[ResolvedPlt] {
+        &self.plt
+    }
+
+    /// Resolves a PLT index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the index is out of range.
+    pub fn resolve_plt(&self, index: u32) -> Result<&ResolvedPlt> {
+        self.plt
+            .get(index as usize)
+            .ok_or(VmError::UnresolvedPlt { plt: index })
+    }
+
+    /// Returns `true` if `addr` lies in either text section.
+    #[must_use]
+    pub fn is_code(&self, addr: u64) -> bool {
+        self.binary.text_contains(addr) || self.syslib.text_contains(addr)
+    }
+
+    /// Returns `true` if `addr` lies in the shared system library (code that
+    /// the static analyser never saw).
+    #[must_use]
+    pub fn is_syslib_code(&self, addr: u64) -> bool {
+        self.syslib.text_contains(addr)
+    }
+
+    /// The decoded instruction at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::BadPc`] if `addr` is not a valid instruction
+    /// address in either text section.
+    pub fn inst_at(&self, addr: u64) -> Result<&Inst> {
+        let (base, insts) = if self.binary.text_contains(addr) {
+            (self.binary.text_base(), &self.main_insts)
+        } else if self.syslib.text_contains(addr) {
+            (self.syslib.text_base(), &self.syslib_insts)
+        } else {
+            return Err(VmError::BadPc { pc: addr });
+        };
+        let off = addr - base;
+        if off % INST_SIZE as u64 != 0 {
+            return Err(VmError::BadPc { pc: addr });
+        }
+        Ok(&insts[(off / INST_SIZE as u64) as usize])
+    }
+
+    /// Builds the initial memory image: `.data` sections of the main binary
+    /// and the system library are copied in; `.bss`, heap and stack read as
+    /// zero until written.
+    #[must_use]
+    pub fn initial_memory(&self) -> FlatMemory {
+        let mut mem = FlatMemory::new();
+        mem.write_bytes(self.binary.data_base(), self.binary.data());
+        mem.write_bytes(self.syslib.data_base(), self.syslib.data());
+        // Loader statistics should not count towards program behaviour.
+        mem.loads = 0;
+        mem.stores = 0;
+        mem
+    }
+
+    /// Initial program counter (the binary's entry point).
+    #[must_use]
+    pub fn entry(&self) -> u64 {
+        self.binary.entry()
+    }
+
+    /// Initial stack pointer for the main thread.
+    #[must_use]
+    pub fn initial_sp(&self) -> u64 {
+        STACK_BASE
+    }
+
+    /// Start of the heap (`sbrk`) region.
+    #[must_use]
+    pub fn heap_base(&self) -> u64 {
+        HEAP_BASE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_ir::{AsmBuilder, Operand, Reg};
+
+    fn tiny_binary(with_plt: &[&str]) -> JBinary {
+        let mut asm = AsmBuilder::new();
+        asm.function("main");
+        for name in with_plt {
+            asm.push_call_ext(*name);
+        }
+        asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(0)));
+        asm.push(Inst::Halt);
+        asm.finish_binary("main").unwrap()
+    }
+
+    #[test]
+    fn loads_and_resolves_syslib_imports() {
+        let bin = tiny_binary(&["pow", "memcpy"]);
+        let p = Process::load(&bin).unwrap();
+        assert_eq!(p.plt().len(), 2);
+        match p.resolve_plt(0).unwrap() {
+            ResolvedPlt::Guest { name, addr } => {
+                assert_eq!(name, "pow");
+                assert!(p.is_syslib_code(*addr));
+            }
+            other => panic!("expected guest resolution, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolves_native_imports() {
+        let bin = tiny_binary(&["par_for"]);
+        let p = Process::load(&bin).unwrap();
+        assert_eq!(
+            p.resolve_plt(0).unwrap(),
+            &ResolvedPlt::Native {
+                name: "par_for".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_import_is_an_error() {
+        let bin = tiny_binary(&["frobnicate"]);
+        let err = Process::load(&bin).unwrap_err();
+        assert!(matches!(err, VmError::UnknownExternal { .. }));
+    }
+
+    #[test]
+    fn inst_at_decodes_both_sections() {
+        let bin = tiny_binary(&["pow"]);
+        let p = Process::load(&bin).unwrap();
+        assert!(p.inst_at(bin.entry()).is_ok());
+        let pow_addr = p.syslib().symbol("pow").unwrap().addr;
+        assert!(p.inst_at(pow_addr).is_ok());
+        assert!(p.inst_at(0x1234).is_err());
+        assert!(p.inst_at(bin.entry() + 1).is_err(), "misaligned address");
+    }
+
+    #[test]
+    fn out_of_range_plt_is_an_error() {
+        let bin = tiny_binary(&[]);
+        let p = Process::load(&bin).unwrap();
+        assert!(matches!(
+            p.resolve_plt(7),
+            Err(VmError::UnresolvedPlt { plt: 7 })
+        ));
+    }
+
+    #[test]
+    fn initial_memory_contains_data_sections() {
+        let mut asm = AsmBuilder::new();
+        let addr = asm.i64_array("values", 4, &[11, 22, 33, 44]);
+        asm.function("main");
+        asm.push(Inst::Halt);
+        let bin = asm.finish_binary("main").unwrap();
+        let p = Process::load(&bin).unwrap();
+        let mut mem = p.initial_memory();
+        assert_eq!(mem.read_i64(addr), 11);
+        assert_eq!(mem.read_i64(addr + 24), 44);
+    }
+}

@@ -1,0 +1,574 @@
+//! The native-execution virtual machine.
+//!
+//! [`Vm`] interprets a loaded [`Process`] directly, without any binary
+//! modification. It is the "native single-threaded execution" baseline that
+//! all Janus speedups in the evaluation are normalised against, and it also
+//! provides the runtime services (system calls and native externals) shared
+//! with the dynamic binary modifier.
+
+use crate::cpu::Cpu;
+use crate::error::{Result, VmError};
+use crate::exec::{exec_inst, pop_value, Effect};
+use crate::memory::FlatMemory;
+#[cfg(test)]
+use crate::memory::GuestMemory as _;
+use crate::process::{Process, ResolvedPlt};
+use janus_ir::{Reg, SyscallNum, INST_SIZE};
+use std::collections::VecDeque;
+
+/// Sentinel return address used when the VM calls a guest function on behalf
+/// of a native service.
+const RETURN_SENTINEL: u64 = 0xffff_ffff_ffff_0000;
+
+/// Configuration of a VM run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Abort execution after this many cycles (guards against runaway
+    /// programs in tests).
+    pub cycle_limit: u64,
+    /// Modelled per-thread spawn/join overhead, in cycles, charged by the
+    /// native `par_for` runtime used by compiler-parallelised binaries.
+    pub spawn_overhead: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            cycle_limit: 20_000_000_000,
+            spawn_overhead: 3_000,
+        }
+    }
+}
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Total cycles consumed (virtual time).
+    pub cycles: u64,
+    /// Instructions retired.
+    pub retired: u64,
+    /// Guest exit code.
+    pub exit_code: i64,
+}
+
+/// The virtual machine driving native execution of one process.
+#[derive(Debug)]
+pub struct Vm {
+    process: Process,
+    /// The guest CPU context.
+    pub cpu: Cpu,
+    /// The guest address space.
+    pub mem: FlatMemory,
+    config: VmConfig,
+    heap_brk: u64,
+    output_ints: Vec<i64>,
+    output_floats: Vec<f64>,
+    input: VecDeque<i64>,
+    exit_code: i64,
+}
+
+impl Vm {
+    /// Creates a VM for `process` with the default configuration.
+    #[must_use]
+    pub fn new(process: Process) -> Vm {
+        Vm::with_config(process, VmConfig::default())
+    }
+
+    /// Creates a VM with an explicit configuration.
+    #[must_use]
+    pub fn with_config(process: Process, config: VmConfig) -> Vm {
+        let mut cpu = Cpu::new();
+        cpu.pc = process.entry();
+        cpu.set_sp(process.initial_sp());
+        let mem = process.initial_memory();
+        let heap_brk = process.heap_base();
+        Vm {
+            process,
+            cpu,
+            mem,
+            config,
+            heap_brk,
+            output_ints: Vec::new(),
+            output_floats: Vec::new(),
+            input: VecDeque::new(),
+            exit_code: 0,
+        }
+    }
+
+    /// Provides simulated standard input values consumed by the
+    /// [`SyscallNum::ReadInt`] system call.
+    pub fn set_input(&mut self, input: &[i64]) {
+        self.input = input.iter().copied().collect();
+    }
+
+    /// Integers written by the guest through [`SyscallNum::WriteInt`].
+    #[must_use]
+    pub fn output_ints(&self) -> &[i64] {
+        &self.output_ints
+    }
+
+    /// Floats written by the guest through [`SyscallNum::WriteFloat`].
+    #[must_use]
+    pub fn output_floats(&self) -> &[f64] {
+        &self.output_floats
+    }
+
+    /// The loaded process.
+    #[must_use]
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Runs the program until it halts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution faults (bad PC, division by zero,
+    /// unknown import) or exceeds the configured cycle limit.
+    pub fn run(&mut self) -> Result<RunResult> {
+        loop {
+            if self.cpu.cycles > self.config.cycle_limit {
+                return Err(VmError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            let pc = self.cpu.pc;
+            let inst = self.process.inst_at(pc)?.clone();
+            let next_pc = pc + INST_SIZE as u64;
+            let effect = exec_inst(&mut self.cpu, &mut self.mem, &inst, next_pc)?;
+            match effect {
+                Effect::Continue => self.cpu.pc = next_pc,
+                Effect::Jump(target) => self.cpu.pc = target,
+                Effect::Halt => break,
+                Effect::External { plt } => self.handle_external(plt)?,
+                Effect::Syscall { num } => {
+                    if self.handle_syscall(num)? {
+                        break;
+                    }
+                    self.cpu.pc = next_pc;
+                }
+            }
+        }
+        Ok(RunResult {
+            cycles: self.cpu.cycles,
+            retired: self.cpu.retired,
+            exit_code: self.exit_code,
+        })
+    }
+
+    fn handle_external(&mut self, plt: u32) -> Result<()> {
+        match self.process.resolve_plt(plt)?.clone() {
+            ResolvedPlt::Guest { addr, .. } => {
+                // Jump straight to the library code; its `ret` will pop the
+                // return address that the call pushed.
+                self.cpu.pc = addr;
+                Ok(())
+            }
+            ResolvedPlt::Native { name } => {
+                self.run_native(&name)?;
+                // Return to the caller by popping the pushed return address.
+                let ret = pop_value(&mut self.cpu, &mut self.mem) as u64;
+                self.cpu.pc = ret;
+                Ok(())
+            }
+        }
+    }
+
+    fn run_native(&mut self, name: &str) -> Result<()> {
+        match name {
+            "print_i64" => {
+                let v = self.cpu.read_gpr(Reg::R0);
+                self.output_ints.push(v);
+                Ok(())
+            }
+            "print_f64" => {
+                let v = self.cpu.read_f64(Reg::V0);
+                self.output_floats.push(v);
+                Ok(())
+            }
+            "par_for" => self.native_par_for(),
+            other => Err(VmError::UnknownExternal {
+                name: other.to_string(),
+            }),
+        }
+    }
+
+    /// The `par_for(fn = r0, start = r1, end = r2, threads = r3)` native.
+    ///
+    /// This is the runtime library behind compiler auto-parallelisation
+    /// (`-parallelize`): the outlined loop body `fn(start, end)` is executed
+    /// for `threads` contiguous chunks and the virtual time charged is the
+    /// maximum chunk time plus a spawn/join overhead per thread, modelling an
+    /// OpenMP-style static schedule on a multicore machine.
+    fn native_par_for(&mut self) -> Result<()> {
+        let func = self.cpu.read_gpr(Reg::R0) as u64;
+        let start = self.cpu.read_gpr(Reg::R1);
+        let end = self.cpu.read_gpr(Reg::R2);
+        let threads = self.cpu.read_gpr(Reg::R3).max(1);
+        let total = (end - start).max(0);
+        let chunk = (total + threads - 1) / threads;
+        let cycles_before = self.cpu.cycles;
+        let mut max_chunk_cycles = 0u64;
+        let mut chunk_start = start;
+        while chunk_start < end {
+            let chunk_end = (chunk_start + chunk).min(end);
+            let before = self.cpu.cycles;
+            self.call_guest_function(func, &[chunk_start, chunk_end])?;
+            max_chunk_cycles = max_chunk_cycles.max(self.cpu.cycles - before);
+            chunk_start = chunk_end;
+        }
+        // Replace the serial sum of chunk times by the parallel maximum plus
+        // the spawn/join overhead.
+        let serial = self.cpu.cycles - cycles_before;
+        self.cpu.cycles = cycles_before
+            + max_chunk_cycles
+            + self.config.spawn_overhead * threads as u64;
+        let _ = serial;
+        Ok(())
+    }
+
+    /// Calls a guest function with up to four integer arguments and runs it to
+    /// completion, returning when the function returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any execution error from the callee.
+    pub fn call_guest_function(&mut self, addr: u64, args: &[i64]) -> Result<i64> {
+        assert!(args.len() <= 4, "at most four integer arguments supported");
+        let saved_pc = self.cpu.pc;
+        for (i, a) in args.iter().enumerate() {
+            self.cpu.write_gpr(Reg::gpr(i as u8), *a);
+        }
+        crate::exec::push_value(&mut self.cpu, &mut self.mem, RETURN_SENTINEL as i64);
+        self.cpu.pc = addr;
+        loop {
+            if self.cpu.cycles > self.config.cycle_limit {
+                return Err(VmError::CycleLimitExceeded {
+                    limit: self.config.cycle_limit,
+                });
+            }
+            let pc = self.cpu.pc;
+            if pc == RETURN_SENTINEL {
+                break;
+            }
+            let inst = self.process.inst_at(pc)?.clone();
+            let next_pc = pc + INST_SIZE as u64;
+            let effect = exec_inst(&mut self.cpu, &mut self.mem, &inst, next_pc)?;
+            match effect {
+                Effect::Continue => self.cpu.pc = next_pc,
+                Effect::Jump(target) => self.cpu.pc = target,
+                Effect::Halt => break,
+                Effect::External { plt } => self.handle_external(plt)?,
+                Effect::Syscall { num } => {
+                    if self.handle_syscall(num)? {
+                        break;
+                    }
+                    self.cpu.pc = next_pc;
+                }
+            }
+        }
+        self.cpu.pc = saved_pc;
+        Ok(self.cpu.read_gpr(Reg::R0))
+    }
+
+    /// Handles a system call. Returns `true` if the program should halt.
+    fn handle_syscall(&mut self, num: u32) -> Result<bool> {
+        let call = SyscallNum::from_u32(num).ok_or(VmError::UnknownSyscall { num })?;
+        match call {
+            SyscallNum::Exit => {
+                self.exit_code = self.cpu.read_gpr(Reg::R0);
+                Ok(true)
+            }
+            SyscallNum::WriteInt => {
+                let v = self.cpu.read_gpr(Reg::R1);
+                self.output_ints.push(v);
+                Ok(false)
+            }
+            SyscallNum::WriteFloat => {
+                let v = self.cpu.read_f64(Reg::V0);
+                self.output_floats.push(v);
+                Ok(false)
+            }
+            SyscallNum::Sbrk => {
+                let size = self.cpu.read_gpr(Reg::R1).max(0) as u64;
+                let old = self.heap_brk;
+                self.heap_brk += (size + 7) & !7;
+                self.cpu.write_gpr(Reg::R0, old as i64);
+                Ok(false)
+            }
+            SyscallNum::Clock => {
+                let c = self.cpu.cycles;
+                self.cpu.write_gpr(Reg::R0, c as i64);
+                Ok(false)
+            }
+            SyscallNum::ReadInt => {
+                let v = self.input.pop_front().unwrap_or(0);
+                self.cpu.write_gpr(Reg::R0, v);
+                Ok(false)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_ir::{AluOp, AsmBuilder, Cond, Inst, MemRef, Operand};
+
+    fn run_asm(build: impl FnOnce(&mut AsmBuilder)) -> (Vm, RunResult) {
+        let mut asm = AsmBuilder::new();
+        build(&mut asm);
+        let bin = asm.finish_binary("main").unwrap();
+        let process = Process::load(&bin).unwrap();
+        let mut vm = Vm::new(process);
+        let result = vm.run().unwrap();
+        (vm, result)
+    }
+
+    #[test]
+    fn runs_a_counting_loop() {
+        let (vm, result) = run_asm(|asm| {
+            asm.function("main");
+            asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(0)));
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(1000)));
+            asm.label("loop");
+            asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+            asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::reg(Reg::R1)));
+            asm.push_branch(Cond::Lt, "loop");
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::WriteInt.as_u32(),
+            });
+            asm.push(Inst::Halt);
+        });
+        assert_eq!(vm.output_ints(), &[1000]);
+        assert!(result.retired > 3000, "loop body retired 3 insts * 1000");
+        assert!(result.cycles >= result.retired);
+    }
+
+    #[test]
+    fn exit_syscall_sets_exit_code() {
+        let (_, result) = run_asm(|asm| {
+            asm.function("main");
+            asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(17)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::Exit.as_u32(),
+            });
+        });
+        assert_eq!(result.exit_code, 17);
+    }
+
+    #[test]
+    fn calls_into_the_system_library() {
+        let (vm, _) = run_asm(|asm| {
+            asm.function("main");
+            // v0 = 2.0, v1 = 3.0; call pow; print result.
+            asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(2)));
+            asm.push(Inst::CvtIntToFloat {
+                dst: Reg::V0,
+                src: Operand::reg(Reg::R0),
+            });
+            asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(3)));
+            asm.push(Inst::CvtIntToFloat {
+                dst: Reg::V1,
+                src: Operand::reg(Reg::R0),
+            });
+            asm.push_call_ext("pow");
+            asm.push(Inst::Syscall {
+                num: SyscallNum::WriteFloat.as_u32(),
+            });
+            asm.push(Inst::Halt);
+        });
+        assert_eq!(vm.output_floats().len(), 1);
+        let v = vm.output_floats()[0];
+        assert!(v > 1.0, "pow-like function grows for x>1, y>0, got {v}");
+    }
+
+    #[test]
+    fn sqrt_from_syslib_is_exact() {
+        let (vm, _) = run_asm(|asm| {
+            asm.function("main");
+            asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(144)));
+            asm.push(Inst::CvtIntToFloat {
+                dst: Reg::V0,
+                src: Operand::reg(Reg::R0),
+            });
+            asm.push_call_ext("sqrt");
+            asm.push(Inst::Syscall {
+                num: SyscallNum::WriteFloat.as_u32(),
+            });
+            asm.push(Inst::Halt);
+        });
+        assert_eq!(vm.output_floats(), &[12.0]);
+    }
+
+    #[test]
+    fn memcpy_copies_arrays() {
+        let mut asm = AsmBuilder::new();
+        let src = asm.i64_array("src", 4, &[1, 2, 3, 4]);
+        let dst = asm.i64_array("dst", 4, &[]);
+        asm.function("main");
+        asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(dst as i64)));
+        asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(src as i64)));
+        asm.push(Inst::mov(Operand::reg(Reg::R2), Operand::imm(32)));
+        asm.push_call_ext("memcpy");
+        asm.push(Inst::Halt);
+        let bin = asm.finish_binary("main").unwrap();
+        let mut vm = Vm::new(Process::load(&bin).unwrap());
+        vm.run().unwrap();
+        for i in 0..4 {
+            assert_eq!(vm.mem.read_i64(dst + i * 8), (i + 1) as i64);
+        }
+    }
+
+    #[test]
+    fn sbrk_allocates_monotonically() {
+        let (vm, _) = run_asm(|asm| {
+            asm.function("main");
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(64)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::Sbrk.as_u32(),
+            });
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::WriteInt.as_u32(),
+            });
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(64)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::Sbrk.as_u32(),
+            });
+            asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
+            asm.push(Inst::Syscall {
+                num: SyscallNum::WriteInt.as_u32(),
+            });
+            asm.push(Inst::Halt);
+        });
+        let outs = vm.output_ints();
+        assert_eq!(outs.len(), 2);
+        assert_eq!(outs[1] - outs[0], 64);
+    }
+
+    #[test]
+    fn read_int_consumes_provided_input() {
+        let mut asm = AsmBuilder::new();
+        asm.function("main");
+        asm.push(Inst::Syscall {
+            num: SyscallNum::ReadInt.as_u32(),
+        });
+        asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
+        asm.push(Inst::Syscall {
+            num: SyscallNum::WriteInt.as_u32(),
+        });
+        asm.push(Inst::Halt);
+        let bin = asm.finish_binary("main").unwrap();
+        let mut vm = Vm::new(Process::load(&bin).unwrap());
+        vm.set_input(&[55]);
+        vm.run().unwrap();
+        assert_eq!(vm.output_ints(), &[55]);
+    }
+
+    #[test]
+    fn cycle_limit_catches_infinite_loops() {
+        let mut asm = AsmBuilder::new();
+        asm.function("main");
+        asm.label("spin");
+        asm.push_jmp("spin");
+        let bin = asm.finish_binary("main").unwrap();
+        let mut vm = Vm::with_config(
+            Process::load(&bin).unwrap(),
+            VmConfig {
+                cycle_limit: 10_000,
+                ..VmConfig::default()
+            },
+        );
+        assert!(matches!(
+            vm.run(),
+            Err(VmError::CycleLimitExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn par_for_native_runs_all_chunks_and_charges_max() {
+        // Loop body writes arr[i] = i for i in [start, end).
+        let mut asm = AsmBuilder::new();
+        let arr = asm.i64_array("arr", 64, &[]);
+        asm.function("main");
+        // par_for(body, 0, 64, 4 threads)
+        asm.push(Inst::Lea {
+            dst: Reg::R0,
+            mem: MemRef::absolute(0),
+        });
+        // Patch in the function address via a label-load below instead.
+        asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(0)));
+        asm.push(Inst::mov(Operand::reg(Reg::R2), Operand::imm(64)));
+        asm.push(Inst::mov(Operand::reg(Reg::R3), Operand::imm(4)));
+        asm.push_call_ext("par_for");
+        asm.push(Inst::Halt);
+        asm.function("body");
+        // for i in r0..r1 { arr[i] = i }
+        asm.label("body_loop");
+        asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::reg(Reg::R1)));
+        asm.push_branch(Cond::Ge, "body_done");
+        asm.push(Inst::mov(
+            Operand::mem(MemRef {
+                base: None,
+                index: Some(Reg::R0),
+                scale: 8,
+                disp: arr as i64,
+            }),
+            Operand::reg(Reg::R0),
+        ));
+        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push_jmp("body_loop");
+        asm.label("body_done");
+        asm.push(Inst::Ret);
+        // Fix up: load the body address into r0 before the call.
+        let body_addr = asm.label_addr("body").unwrap();
+        let bin = {
+            let mut bin_asm = asm;
+            // Rebuild the first instruction to carry the correct address: we
+            // simply re-emit main with the known address. Easier: overwrite by
+            // using the finished binary is complex, so instead assert the Lea
+            // trick: absolute(0) + body_addr as displacement is what we want.
+            // To keep the test simple we re-assemble from scratch.
+            let _ = &mut bin_asm;
+            let mut asm2 = AsmBuilder::new();
+            let arr2 = asm2.i64_array("arr", 64, &[]);
+            assert_eq!(arr2, arr);
+            asm2.function("main");
+            asm2.push(Inst::mov(
+                Operand::reg(Reg::R0),
+                Operand::imm(body_addr as i64),
+            ));
+            asm2.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(0)));
+            asm2.push(Inst::mov(Operand::reg(Reg::R2), Operand::imm(64)));
+            asm2.push(Inst::mov(Operand::reg(Reg::R3), Operand::imm(4)));
+            asm2.push_call_ext("par_for");
+            asm2.push(Inst::Halt);
+            asm2.function("body");
+            asm2.label("body_loop");
+            asm2.push(Inst::cmp(Operand::reg(Reg::R0), Operand::reg(Reg::R1)));
+            asm2.push_branch(Cond::Ge, "body_done");
+            asm2.push(Inst::mov(
+                Operand::mem(MemRef {
+                    base: None,
+                    index: Some(Reg::R0),
+                    scale: 8,
+                    disp: arr as i64,
+                }),
+                Operand::reg(Reg::R0),
+            ));
+            asm2.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+            asm2.push_jmp("body_loop");
+            asm2.label("body_done");
+            asm2.push(Inst::Ret);
+            assert_eq!(asm2.label_addr("body").unwrap(), body_addr);
+            asm2.finish_binary("main").unwrap()
+        };
+        let mut vm = Vm::new(Process::load(&bin).unwrap());
+        vm.run().unwrap();
+        for i in 0..64 {
+            assert_eq!(vm.mem.read_i64(arr + i * 8), i as i64, "arr[{i}]");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Inspect the static analysis of a benchmark binary: loop classification,
+//! induction variables, dependences and the generated rewrite schedule.
+//!
+//! Run with: `cargo run --release --example inspect_loops [benchmark]`
+//! (defaults to `410.bwaves`).
+
+use janus::compile::{CompileOptions, Compiler};
+use janus::core::Janus;
+use janus::workloads::workload;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "410.bwaves".to_string());
+    let w = workload(&name).expect("known workload (e.g. 470.lbm, 410.bwaves)");
+    let binary = Compiler::with_options(CompileOptions::gcc_o3())
+        .compile(&w.program)
+        .expect("compiles");
+
+    let janus = Janus::new();
+    let analysis = janus.analyze(&binary).expect("analysis succeeds");
+    println!(
+        "{name}: {} functions, {} loops",
+        analysis.functions.len(),
+        analysis.loops.len()
+    );
+    for l in &analysis.loops {
+        println!(
+            "\nloop {} @ {:#x} (depth {}) — {}",
+            l.id,
+            l.header_addr,
+            l.depth,
+            l.category.label()
+        );
+        if let Some(reason) = &l.incompatible_reason {
+            println!("  reason: {reason}");
+        }
+        if let Some(iv) = &l.induction {
+            println!(
+                "  induction: {:?} step {} trip-count {:?}",
+                iv.var, iv.step, iv.trip_count
+            );
+        }
+        println!(
+            "  accesses: {}  reductions: {}  bounds-check pairs: {}  external calls: {}",
+            l.accesses.len(),
+            l.reductions.len(),
+            l.bounds_checks.len(),
+            l.external_call_addrs.len()
+        );
+    }
+
+    let selected = janus.select_loops(&analysis, None);
+    let schedule = janus.generate_schedule(&binary, &analysis, &selected);
+    println!("\nselected loops: {selected:?}");
+    println!("rewrite schedule: {} rules, {} bytes", schedule.len(), schedule.byte_size());
+    for rule in schedule.rules().iter().take(20) {
+        println!("  {rule}");
+    }
+    if schedule.len() > 20 {
+        println!("  ... ({} more rules)", schedule.len() - 20);
+    }
+}

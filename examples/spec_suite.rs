@@ -1,0 +1,47 @@
+//! Run Janus over the nine parallelisable synthetic SPEC-like benchmarks and
+//! print a Figure-7-style speedup table for a chosen thread count.
+//!
+//! Run with: `cargo run --release --example spec_suite [threads]`
+
+use janus::compile::{CompileOptions, Compiler};
+use janus::core::{Janus, JanusConfig, OptimisationMode};
+use janus::workloads::{parallel_benchmarks, workload};
+
+fn main() {
+    let threads: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8}",
+        "benchmark", "DynamoRIO", "Janus", "par.loops", "checks"
+    );
+    for name in parallel_benchmarks() {
+        let w = workload(name).expect("workload exists");
+        let binary = Compiler::with_options(CompileOptions::gcc_o3())
+            .compile(&w.program)
+            .expect("compiles");
+        let overhead = Janus::with_config(JanusConfig {
+            threads,
+            mode: OptimisationMode::DynamoRioOnly,
+            ..JanusConfig::default()
+        })
+        .run(&binary, &[])
+        .expect("dbm-only run succeeds");
+        let full = Janus::with_config(JanusConfig {
+            threads,
+            ..JanusConfig::default()
+        })
+        .run(&binary, &[])
+        .expect("janus run succeeds");
+        assert!(full.outputs_match, "{name}: outputs diverged");
+        println!(
+            "{:<16} {:>10.2} {:>10.2} {:>10} {:>8}",
+            name,
+            overhead.speedup(),
+            full.speedup(),
+            full.parallel.stats.parallel_invocations,
+            full.parallel.stats.bounds_checks_executed,
+        );
+    }
+}

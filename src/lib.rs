@@ -1,0 +1,40 @@
+//! # janus — automatic dynamic binary parallelisation
+//!
+//! Facade crate for the Janus reproduction (Zhou & Jones, CGO 2019). It
+//! re-exports the public API of every subsystem crate so applications can use
+//! a single dependency:
+//!
+//! * [`ir`] — the Janus Virtual Architecture (instructions, encoding, JBin).
+//! * [`vm`] — the guest machine, interpreter and shared system library.
+//! * [`compile`] — the mini optimising compiler used to produce binaries.
+//! * [`analysis`] — the static binary analyser (CFG, SSA, loops, dependence).
+//! * [`schedule`] — rewrite rules and rewrite schedules.
+//! * [`profile`] — statically-driven coverage and dependence profiling.
+//! * [`dbm`] — the dynamic binary modifier and parallel runtime.
+//! * [`core`] — the end-to-end Janus pipeline.
+//! * [`workloads`] — the synthetic SPEC-like benchmark programs.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use janus::core::{Janus, JanusConfig};
+//! use janus::workloads::workload;
+//!
+//! // Build a DOALL workload binary (training scale) and parallelise it.
+//! let w = workload("470.lbm").expect("workload exists");
+//! let binary = janus::compile::Compiler::new().compile(&w.train_program).expect("compiles");
+//! let janus = Janus::with_config(JanusConfig { threads: 4, ..JanusConfig::default() });
+//! let report = janus.run(&binary, &[]).expect("runs to completion");
+//! assert!(report.outputs_match);
+//! assert!(report.speedup() > 1.0);
+//! ```
+
+pub use janus_analysis as analysis;
+pub use janus_compile as compile;
+pub use janus_core as core;
+pub use janus_dbm as dbm;
+pub use janus_ir as ir;
+pub use janus_profile as profile;
+pub use janus_schedule as schedule;
+pub use janus_vm as vm;
+pub use janus_workloads as workloads;
