@@ -341,7 +341,11 @@ mod tests {
         asm.function("main");
         asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(0)));
         asm.label("loop");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(10)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push_call("helper");

@@ -179,14 +179,15 @@ pub fn classify_loop(
         incompatible_reason = Some("loop contains indirect control flow".to_string());
         LoopCategory::Incompatible
     } else if has_internal_call {
-        incompatible_reason =
-            Some("loop calls other functions (inter-procedural parallelisation not supported)"
-                .to_string());
+        incompatible_reason = Some(
+            "loop calls other functions (inter-procedural parallelisation not supported)"
+                .to_string(),
+        );
         LoopCategory::Incompatible
     } else if induction.is_none() {
         incompatible_reason = Some("no recognisable induction variable".to_string());
         LoopCategory::Incompatible
-    } else if induction.as_ref().map_or(true, |iv| iv.bound.is_none()) {
+    } else if induction.as_ref().is_none_or(|iv| iv.bound.is_none()) {
         incompatible_reason = Some("loop bound could not be recognised".to_string());
         LoopCategory::Incompatible
     } else if !deps.dependences.is_empty()
@@ -291,7 +292,10 @@ mod tests {
                 ast::Expr::const_i(256),
                 vec![ast::Stmt::assign(
                     ast::LValue::store("b", ast::Expr::var("i")),
-                    ast::Expr::mul(ast::Expr::load("a", ast::Expr::var("i")), ast::Expr::const_f(2.0)),
+                    ast::Expr::mul(
+                        ast::Expr::load("a", ast::Expr::var("i")),
+                        ast::Expr::const_f(2.0),
+                    ),
                 )],
             )],
             &[("i", ast::Ty::I64)],
@@ -315,7 +319,10 @@ mod tests {
                     ast::Expr::const_i(256),
                     vec![ast::Stmt::assign(
                         ast::LValue::var("s"),
-                        ast::Expr::add(ast::Expr::var("s"), ast::Expr::load("a", ast::Expr::var("i"))),
+                        ast::Expr::add(
+                            ast::Expr::var("s"),
+                            ast::Expr::load("a", ast::Expr::var("i")),
+                        ),
                     )],
                 ),
                 ast::Stmt::print(ast::Expr::var("s")),
@@ -339,7 +346,10 @@ mod tests {
                 vec![ast::Stmt::assign(
                     ast::LValue::store("a", ast::Expr::var("i")),
                     ast::Expr::add(
-                        ast::Expr::load("a", ast::Expr::sub(ast::Expr::var("i"), ast::Expr::const_i(1))),
+                        ast::Expr::load(
+                            "a",
+                            ast::Expr::sub(ast::Expr::var("i"), ast::Expr::const_i(1)),
+                        ),
                         ast::Expr::const_f(1.0),
                     ),
                 )],
@@ -365,7 +375,11 @@ mod tests {
         let analysis = analyze_program(&p);
         let l = &analysis.loops[0];
         assert_eq!(l.category, LoopCategory::Incompatible);
-        assert!(l.incompatible_reason.as_ref().unwrap().contains("system calls"));
+        assert!(l
+            .incompatible_reason
+            .as_ref()
+            .unwrap()
+            .contains("system calls"));
     }
 
     #[test]
@@ -425,7 +439,10 @@ mod tests {
                         vec![ast::Expr::load("a", ast::Expr::var("i"))],
                         Some(ast::LValue::var("t")),
                     ),
-                    ast::Stmt::assign(ast::LValue::store("b", ast::Expr::var("i")), ast::Expr::var("t")),
+                    ast::Stmt::assign(
+                        ast::LValue::store("b", ast::Expr::var("i")),
+                        ast::Expr::var("t"),
+                    ),
                 ],
             )],
             &[("i", ast::Ty::I64), ("t", ast::Ty::F64)],
@@ -446,21 +463,23 @@ mod tests {
             .global_i64("table", 4)
             .function(ast::Function::new("callee").body(vec![]))
             .function(
-                ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
-                    ast::Stmt::assign(
-                        ast::LValue::store("table", ast::Expr::const_i(0)),
-                        ast::Expr::AddrOfFn("callee".into()),
-                    ),
-                    ast::Stmt::simple_for(
-                        "i",
-                        ast::Expr::const_i(0),
-                        ast::Expr::const_i(4),
-                        vec![ast::Stmt::CallIndirect {
-                            table: "table".into(),
-                            index: ast::Expr::const_i(0),
-                        }],
-                    ),
-                ]),
+                ast::Function::new("main")
+                    .local("i", ast::Ty::I64)
+                    .body(vec![
+                        ast::Stmt::assign(
+                            ast::LValue::store("table", ast::Expr::const_i(0)),
+                            ast::Expr::AddrOfFn("callee".into()),
+                        ),
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(4),
+                            vec![ast::Stmt::CallIndirect {
+                                table: "table".into(),
+                                index: ast::Expr::const_i(0),
+                            }],
+                        ),
+                    ]),
             )
             .build();
         let analysis = analyze_program(&p);
@@ -491,7 +510,10 @@ mod tests {
                     ast::Expr::const_i(64),
                     vec![ast::Stmt::assign(
                         ast::LValue::store("c", ast::Expr::var("i")),
-                        ast::Expr::load("c", ast::Expr::sub(ast::Expr::var("i"), ast::Expr::const_i(1))),
+                        ast::Expr::load(
+                            "c",
+                            ast::Expr::sub(ast::Expr::var("i"), ast::Expr::const_i(1)),
+                        ),
                     )],
                 ),
             ],

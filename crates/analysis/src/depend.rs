@@ -263,13 +263,21 @@ fn analyze_memory_pairs(
                                 base_extent(&w.pattern, w.width),
                                 base_extent(&o.pattern, o.width),
                             ) {
-                                result.bounds_checks.push(BoundsCheckPair { write: a, other: b });
+                                result
+                                    .bounds_checks
+                                    .push(BoundsCheckPair { write: a, other: b });
                             }
                         }
                     }
                 }
-                (AccessPattern::Affine { base: wb, .. }, AccessPattern::Invariant { base: ob, .. })
-                | (AccessPattern::Invariant { base: wb, .. }, AccessPattern::Affine { base: ob, .. }) => {
+                (
+                    AccessPattern::Affine { base: wb, .. },
+                    AccessPattern::Invariant { base: ob, .. },
+                )
+                | (
+                    AccessPattern::Invariant { base: wb, .. },
+                    AccessPattern::Affine { base: ob, .. },
+                ) => {
                     // A strided walk against a fixed location: check overlap
                     // statically when possible, otherwise require a runtime
                     // check if the bases cannot be proved distinct.
@@ -280,29 +288,44 @@ fn analyze_memory_pairs(
                     if disjoint {
                         continue;
                     }
-                    if same_base(wb, ob) || matches!((wb, ob), (AddressBase::Reg(_), _) | (_, AddressBase::Reg(_)))
+                    if same_base(wb, ob)
+                        || matches!(
+                            (wb, ob),
+                            (AddressBase::Reg(_), _) | (_, AddressBase::Reg(_))
+                        )
                     {
                         if let (Some(a), Some(b)) = (
                             base_extent(&w.pattern, w.width),
                             base_extent(&o.pattern, o.width),
                         ) {
-                            result.bounds_checks.push(BoundsCheckPair { write: a, other: b });
+                            result
+                                .bounds_checks
+                                .push(BoundsCheckPair { write: a, other: b });
                         }
                     }
                 }
-                (AccessPattern::Invariant { base: wb, offset: wo }, AccessPattern::Invariant { base: ob, offset: oo }) => {
-                    if same_base(wb, ob) && effective_offset(wb, *wo) == effective_offset(ob, *oo) {
-                        // Same scalar location accessed every iteration;
-                        // reduction recognition decides whether this is
-                        // acceptable (handled in analyze_stack_slots-like
-                        // pass below via globals).
-                        result.dependences.push(Dependence {
-                            kind,
-                            from_addr: w.addr,
-                            to_addr: o.addr,
-                            distance: Some(0),
-                        });
-                    }
+                (
+                    AccessPattern::Invariant {
+                        base: wb,
+                        offset: wo,
+                    },
+                    AccessPattern::Invariant {
+                        base: ob,
+                        offset: oo,
+                    },
+                ) if same_base(wb, ob)
+                    && effective_offset(wb, *wo) == effective_offset(ob, *oo) =>
+                {
+                    // Same scalar location accessed every iteration;
+                    // reduction recognition decides whether this is
+                    // acceptable (handled in analyze_stack_slots-like
+                    // pass below via globals).
+                    result.dependences.push(Dependence {
+                        kind,
+                        from_addr: w.addr,
+                        to_addr: o.addr,
+                        distance: Some(0),
+                    });
                 }
                 _ => {}
             }
@@ -358,28 +381,20 @@ fn analyze_stack_slots(
                     continue;
                 }
                 match &d.inst {
-                    Inst::Alu {
-                        op: AluOp::Add, ..
-                    } => {
+                    Inst::Alu { op: AluOp::Add, .. } => {
                         addrs.push(d.addr);
                         op = ReductionOp::Add;
                     }
-                    Inst::Alu {
-                        op: AluOp::Sub, ..
-                    } => {
+                    Inst::Alu { op: AluOp::Sub, .. } => {
                         addrs.push(d.addr);
                         op = ReductionOp::Sub;
                     }
-                    Inst::Fpu {
-                        op: FpuOp::Add, ..
-                    } => {
+                    Inst::Fpu { op: FpuOp::Add, .. } => {
                         addrs.push(d.addr);
                         op = ReductionOp::Add;
                         is_float = true;
                     }
-                    Inst::Fpu {
-                        op: FpuOp::Sub, ..
-                    } => {
+                    Inst::Fpu { op: FpuOp::Sub, .. } => {
                         addrs.push(d.addr);
                         op = ReductionOp::Sub;
                         is_float = true;
@@ -638,7 +653,10 @@ mod tests {
         analyze_memory_pairs(&accesses, None, 1, &mut result);
         assert!(result.dependences.is_empty());
         assert_eq!(result.bounds_checks.len(), 1);
-        assert_eq!(result.bounds_checks[0].write.base, AddressBase::Reg(Reg::R4));
+        assert_eq!(
+            result.bounds_checks[0].write.base,
+            AddressBase::Reg(Reg::R4)
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ impl Dominators {
     /// Returns `true` if block `a` dominates block `b`.
     #[must_use]
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        self.doms.get(b).map_or(false, |d| d.binary_search(&a).is_ok())
+        self.doms
+            .get(b)
+            .is_some_and(|d| d.binary_search(&a).is_ok())
     }
 
     /// The full dominator set of `b`.
@@ -91,10 +93,18 @@ mod tests {
         asm.function("main");
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(0)));
         asm.push_branch(Cond::Eq, "else_b");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R1),
+            Operand::imm(1),
+        ));
         asm.push_jmp("join");
         asm.label("else_b");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(2)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R1),
+            Operand::imm(2),
+        ));
         asm.label("join");
         asm.push(Inst::Halt);
         let bin = asm.finish_binary("main").unwrap();
@@ -118,7 +128,10 @@ mod tests {
             .map(|b| b.id)
             .collect();
         for arm in arms {
-            assert!(!doms.dominates(arm, join), "arm {arm} must not dominate join");
+            assert!(
+                !doms.dominates(arm, join),
+                "arm {arm} must not dominate join"
+            );
         }
         assert_eq!(doms.dominators_of(0), &[0]);
     }
@@ -128,7 +141,11 @@ mod tests {
         let mut asm = AsmBuilder::new();
         asm.function("main");
         asm.label("l");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(5)));
         asm.push_branch(Cond::Lt, "l");
         asm.push(Inst::Halt);

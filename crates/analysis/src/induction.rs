@@ -201,15 +201,15 @@ pub fn find_induction(func: &FunctionCfg, nl: &NaturalLoop) -> Option<InductionV
     // compiled pattern `mov rScratch, imm ; mov rVar, rScratch`.
     let mut init: Option<Operand> = None;
     for &ph in &nl.preheaders {
-        let mut known_consts: std::collections::HashMap<Reg, i64> = std::collections::HashMap::new();
+        let mut known_consts: std::collections::HashMap<Reg, i64> =
+            std::collections::HashMap::new();
         for d in &func.blocks[ph].insts {
             if let Inst::Mov { dst, src } = &d.inst {
                 if VarRef::from_operand(dst) == Some(var) {
                     init = match src {
-                        Operand::Reg(r) => known_consts
-                            .get(r)
-                            .map(|v| Operand::Imm(*v))
-                            .or(Some(*src)),
+                        Operand::Reg(r) => {
+                            known_consts.get(r).map(|v| Operand::Imm(*v)).or(Some(*src))
+                        }
                         other => Some(*other),
                     };
                 }
@@ -236,7 +236,7 @@ pub fn find_induction(func: &FunctionCfg, nl: &NaturalLoop) -> Option<InductionV
                 _ => 0,
             };
             if span > 0 && step != 0 {
-                Some((span.unsigned_abs() + step.unsigned_abs() - 1) / step.unsigned_abs())
+                Some(span.unsigned_abs().div_ceil(step.unsigned_abs()))
             } else {
                 None
             }
@@ -276,8 +276,16 @@ mod tests {
         asm.function("main");
         asm.push(Inst::mov(Operand::reg(Reg::R4), Operand::imm(0)));
         asm.label("loop");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R5), Operand::reg(Reg::R4)));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R4), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R5),
+            Operand::reg(Reg::R4),
+        ));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R4),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R4), Operand::imm(100)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push(Inst::Halt);
@@ -327,7 +335,11 @@ mod tests {
         asm.function("main");
         asm.push(Inst::mov(Operand::reg(Reg::R4), Operand::imm(0)));
         asm.label("loop");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R4), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R4),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R4), Operand::reg(Reg::R6)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push(Inst::Halt);

@@ -98,8 +98,16 @@ mod tests {
         asm.function("main");
         asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(0)));
         asm.label("loop");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R1),
+            Operand::reg(Reg::R0),
+        ));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(10)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push(Inst::Halt);
@@ -125,7 +133,11 @@ mod tests {
         asm.function("main");
         // R2 is written before being read: not live-in to the entry block.
         asm.push(Inst::mov(Operand::reg(Reg::R2), Operand::imm(5)));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R2), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R2),
+            Operand::imm(1),
+        ));
         asm.push(Inst::Halt);
         let bin = asm.finish_binary("main").unwrap();
         let f = &recover_functions(&bin).unwrap()[0];

@@ -113,8 +113,8 @@ pub fn find_loops(func: &FunctionCfg, doms: &Dominators) -> Vec<NaturalLoop> {
 
     // Sort outermost-first (larger loops first) and compute nesting.
     loops.sort_by_key(|l| std::cmp::Reverse(l.blocks.len()));
-    for i in 0..loops.len() {
-        loops[i].id = i;
+    for (i, l) in loops.iter_mut().enumerate() {
+        l.id = i;
     }
     for i in 0..loops.len() {
         // The parent is the smallest loop that strictly contains this loop.
@@ -127,7 +127,7 @@ pub fn find_loops(func: &FunctionCfg, doms: &Dominators) -> Vec<NaturalLoop> {
                 && loops[i].blocks.iter().all(|b| loops[j].blocks.contains(b))
             {
                 let size = loops[j].blocks.len();
-                if best.map_or(true, |(s, _)| size < s) {
+                if best.is_none_or(|(s, _)| size < s) {
                     best = Some((size, j));
                 }
             }
@@ -161,11 +161,23 @@ mod tests {
         asm.label("outer");
         asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(0)));
         asm.label("inner");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R2), Operand::imm(1)));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R2),
+            Operand::imm(1),
+        ));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R1),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R1), Operand::imm(10)));
         asm.push_branch(Cond::Lt, "inner");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(10)));
         asm.push_branch(Cond::Lt, "outer");
         asm.push(Inst::Halt);

@@ -219,7 +219,10 @@ fn step_symbolic_state(
             src,
         } if d.is_gpr() => {
             let v = match src {
-                Operand::Imm(v) => SymVal::Lin { coeff: 0, konst: *v },
+                Operand::Imm(v) => SymVal::Lin {
+                    coeff: 0,
+                    konst: *v,
+                },
                 Operand::Reg(s) if s.is_gpr() => resolve(state, *s),
                 _ => SymVal::Unknown,
             };
@@ -246,7 +249,10 @@ fn step_symbolic_state(
         } if d.is_gpr() => {
             let cur = resolve(state, *d);
             let rhs = match src {
-                Operand::Imm(v) => Some(SymVal::Lin { coeff: 0, konst: *v }),
+                Operand::Imm(v) => Some(SymVal::Lin {
+                    coeff: 0,
+                    konst: *v,
+                }),
                 Operand::Reg(s) if s.is_gpr() => Some(resolve(state, *s)),
                 _ => None,
             };
@@ -284,12 +290,19 @@ fn step_symbolic_state(
 
 fn sym_add(a: SymVal, b: SymVal) -> SymVal {
     match (a, b) {
-        (SymVal::Lin { coeff: c1, konst: k1 }, SymVal::Lin { coeff: c2, konst: k2 }) => {
+        (
             SymVal::Lin {
-                coeff: c1 + c2,
-                konst: k1 + k2,
-            }
-        }
+                coeff: c1,
+                konst: k1,
+            },
+            SymVal::Lin {
+                coeff: c2,
+                konst: k2,
+            },
+        ) => SymVal::Lin {
+            coeff: c1 + c2,
+            konst: k1 + k2,
+        },
         (SymVal::InvariantPlus { base, konst }, SymVal::Lin { coeff: 0, konst: k })
         | (SymVal::Lin { coeff: 0, konst: k }, SymVal::InvariantPlus { base, konst }) => {
             SymVal::InvariantPlus {
@@ -336,7 +349,12 @@ fn pattern_with_state(
     let mut konst: i64 = m.disp;
     let mut unknown = false;
 
-    let absorb = |val: SymVal, mult: i64, base_reg: &mut Option<Reg>, unknown: &mut bool, coeff: &mut i64, konst: &mut i64| {
+    let absorb = |val: SymVal,
+                  mult: i64,
+                  base_reg: &mut Option<Reg>,
+                  unknown: &mut bool,
+                  coeff: &mut i64,
+                  konst: &mut i64| {
         match val {
             SymVal::Lin { coeff: c, konst: k } => {
                 *coeff += c * mult;
@@ -529,7 +547,11 @@ mod tests {
         asm.push(Inst::mov(Operand::reg(Reg::R4), Operand::imm(1)));
         asm.label("loop");
         asm.push(Inst::mov(Operand::reg(Reg::R10), Operand::reg(Reg::R4)));
-        asm.push(Inst::alu(AluOp::Sub, Operand::reg(Reg::R10), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Sub,
+            Operand::reg(Reg::R10),
+            Operand::imm(1),
+        ));
         asm.push(Inst::mov(
             Operand::reg(Reg::R11),
             Operand::mem(MemRef {
@@ -548,7 +570,11 @@ mod tests {
             }),
             Operand::reg(Reg::R11),
         ));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R4), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R4),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R4), Operand::imm(64)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push(Inst::Halt);

@@ -75,7 +75,9 @@ fn bench_fig10_schedule_size(c: &mut Criterion) {
             let janus = Janus::new();
             let analysis = janus.analyze(&binary).unwrap();
             let selected = janus.select_loops(&analysis, None);
-            janus.generate_schedule(&binary, &analysis, &selected).byte_size()
+            janus
+                .generate_schedule(&binary, &analysis, &selected)
+                .byte_size()
         })
     });
 }
@@ -93,7 +95,11 @@ fn bench_fig11_and_fig12_compilation(c: &mut Criterion) {
         ("gcc_parallel8", CompileOptions::gcc_parallel(8)),
     ] {
         group.bench_function(label, |b| {
-            b.iter(|| Compiler::with_options(opts).compile(&w.train_program).unwrap())
+            b.iter(|| {
+                Compiler::with_options(opts)
+                    .compile(&w.train_program)
+                    .unwrap()
+            })
         });
     }
     group.finish();
@@ -123,7 +129,10 @@ fn bench_ablation_sched_policy(c: &mut Criterion) {
             b.iter(|| {
                 let mut config = JanusConfig::default();
                 config.dbm.min_iterations_per_thread = min_iters;
-                Janus::with_config(config).run(&binary, &[]).unwrap().speedup()
+                Janus::with_config(config)
+                    .run(&binary, &[])
+                    .unwrap()
+                    .speedup()
             })
         });
     }

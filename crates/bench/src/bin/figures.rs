@@ -5,35 +5,36 @@
 
 use janus_bench as bench;
 
+const FIGURES: [(&str, fn()); 9] = [
+    ("fig6", fig6),
+    ("fig7", fig7),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("fig10", fig10),
+    ("fig11", fig11),
+    ("fig12", fig12),
+    ("table1", table1),
+    ("table2", table2),
+];
+
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    let all = which == "all";
-    if all || which == "fig6" {
-        fig6();
+    if which == "all" {
+        for (_, run) in FIGURES {
+            run();
+        }
+        return;
     }
-    if all || which == "fig7" {
-        fig7();
-    }
-    if all || which == "fig8" {
-        fig8();
-    }
-    if all || which == "fig9" {
-        fig9();
-    }
-    if all || which == "fig10" {
-        fig10();
-    }
-    if all || which == "fig11" {
-        fig11();
-    }
-    if all || which == "fig12" {
-        fig12();
-    }
-    if all || which == "table1" {
-        table1();
-    }
-    if all || which == "table2" {
-        table2();
+    match FIGURES.iter().find(|(name, _)| *name == which) {
+        Some((_, run)) => run(),
+        None => {
+            let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+            eprintln!(
+                "unknown figure {which:?}; expected one of: all, {}",
+                names.join(", ")
+            );
+            std::process::exit(2);
+        }
     }
 }
 

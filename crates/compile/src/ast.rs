@@ -164,31 +164,40 @@ impl Expr {
     }
 
     /// `lhs + rhs`.
+    ///
+    /// These constructors share names with the `std::ops` traits on purpose:
+    /// they are associated functions (`Expr::add(a, b)`), the AST-building
+    /// vocabulary every workload is written in, not operators on values.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Add, lhs, rhs)
     }
 
     /// `lhs - rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Sub, lhs, rhs)
     }
 
     /// `lhs * rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Mul, lhs, rhs)
     }
 
     /// `lhs / rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn div(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Div, lhs, rhs)
     }
 
     /// `lhs % rhs`.
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn rem(lhs: Expr, rhs: Expr) -> Expr {
         Expr::binary(BinOp::Rem, lhs, rhs)
     }
@@ -630,17 +639,19 @@ mod tests {
         let p = Program::builder("p")
             .global_i64("a", 10)
             .global_f64("x", 4)
-            .function(Function::new("main").local("i", Ty::I64).body(vec![
-                Stmt::simple_for(
-                    "i",
-                    Expr::const_i(0),
-                    Expr::const_i(10),
-                    vec![Stmt::assign(
-                        LValue::store("a", Expr::var("i")),
-                        Expr::var("i"),
-                    )],
-                ),
-            ]))
+            .function(
+                Function::new("main")
+                    .local("i", Ty::I64)
+                    .body(vec![Stmt::simple_for(
+                        "i",
+                        Expr::const_i(0),
+                        Expr::const_i(10),
+                        vec![Stmt::assign(
+                            LValue::store("a", Expr::var("i")),
+                            Expr::var("i"),
+                        )],
+                    )]),
+            )
             .build();
         assert_eq!(p.globals.len(), 2);
         assert!(p.function("main").is_some());
@@ -674,7 +685,10 @@ mod tests {
         );
         let mut vars = Vec::new();
         e.variables(&mut vars);
-        assert_eq!(vars, vec!["p".to_string(), "i".to_string(), "j".to_string()]);
+        assert_eq!(
+            vars,
+            vec!["p".to_string(), "i".to_string(), "j".to_string()]
+        );
     }
 
     #[test]

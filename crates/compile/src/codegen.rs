@@ -142,8 +142,9 @@ fn emit_global(asm: &mut AsmBuilder, g: &GlobalArray) -> u64 {
             for i in 0..g.len {
                 let v = ((i as i64).wrapping_mul(*mul).wrapping_add(*add)).rem_euclid(modulus);
                 match ty {
-                    Ty::F64 => bytes
-                        .extend_from_slice(&((v as f64) / (modulus as f64)).to_bits().to_le_bytes()),
+                    Ty::F64 => bytes.extend_from_slice(
+                        &((v as f64) / (modulus as f64)).to_bits().to_le_bytes(),
+                    ),
                     _ => bytes.extend_from_slice(&v.to_le_bytes()),
                 }
             }
@@ -155,9 +156,7 @@ fn emit_global(asm: &mut AsmBuilder, g: &GlobalArray) -> u64 {
         }
         (Init::ValuesF(vs), _) => {
             for i in 0..g.len {
-                bytes.extend_from_slice(
-                    &vs.get(i).copied().unwrap_or(0.0).to_bits().to_le_bytes(),
-                );
+                bytes.extend_from_slice(&vs.get(i).copied().unwrap_or(0.0).to_bits().to_le_bytes());
             }
         }
     }
@@ -312,12 +311,7 @@ impl<'a> FnCtx<'a> {
 
     /// Evaluates an integer expression into the integer scratch register with
     /// index `depth`. Returns the register.
-    fn eval_int(
-        &mut self,
-        asm: &mut AsmBuilder,
-        expr: &Expr,
-        depth: usize,
-    ) -> Result<Reg> {
+    fn eval_int(&mut self, asm: &mut AsmBuilder, expr: &Expr, depth: usize) -> Result<Reg> {
         if depth >= INT_SCRATCH.len() {
             return Err(CompileError::ExpressionTooDeep {
                 function: self.func.name.clone(),
@@ -387,9 +381,7 @@ impl<'a> FnCtx<'a> {
             }
             Expr::AddrOfFn(name) => {
                 if self.program.function(name).is_none() {
-                    return Err(CompileError::UndefinedFunction {
-                        name: name.clone(),
-                    });
+                    return Err(CompileError::UndefinedFunction { name: name.clone() });
                 }
                 asm.push_load_label_addr(dst, name.clone());
             }
@@ -432,12 +424,7 @@ impl<'a> FnCtx<'a> {
 
     /// Evaluates a floating-point expression into the float scratch register
     /// with index `depth`.
-    fn eval_float(
-        &mut self,
-        asm: &mut AsmBuilder,
-        expr: &Expr,
-        depth: usize,
-    ) -> Result<Reg> {
+    fn eval_float(&mut self, asm: &mut AsmBuilder, expr: &Expr, depth: usize) -> Result<Reg> {
         if depth >= FLT_SCRATCH.len() {
             return Err(CompileError::ExpressionTooDeep {
                 function: self.func.name.clone(),
@@ -524,7 +511,10 @@ impl<'a> FnCtx<'a> {
             }
             Expr::Cast { .. } | Expr::AddrOfArray(_) | Expr::AddrOfFn(_) => {
                 return Err(CompileError::TypeMismatch {
-                    context: format!("address expression in float context in `{}`", self.func.name),
+                    context: format!(
+                        "address expression in float context in `{}`",
+                        self.func.name
+                    ),
                 })
             }
         }
@@ -759,9 +749,7 @@ impl<'a> FnCtx<'a> {
                     let dst_operand = match (loc, is_float) {
                         (Loc::Gpr(r), false) => Some(Operand::reg(r)),
                         (Loc::VReg(r), true) => Some(Operand::reg(r)),
-                        (Loc::Stack(off), _) => {
-                            Some(Operand::mem(MemRef::base_disp(Reg::FP, off)))
-                        }
+                        (Loc::Stack(off), _) => Some(Operand::mem(MemRef::base_disp(Reg::FP, off))),
                         _ => None,
                     };
                     if let Some(dst_operand) = dst_operand {
@@ -1005,10 +993,7 @@ impl<'a> FnCtx<'a> {
             Expr::ConstF(_) => true,
             Expr::Load { array, index } => {
                 *index.as_ref() == Expr::Var(var.to_string())
-                    && self
-                        .global(array)
-                        .map(|g| g.ty.is_float())
-                        .unwrap_or(false)
+                    && self.global(array).map(|g| g.ty.is_float()).unwrap_or(false)
             }
             Expr::LoadPtr { index, .. } => *index.as_ref() == Expr::Var(var.to_string()),
             Expr::Binary { op, lhs, rhs } => {
@@ -1060,7 +1045,11 @@ impl<'a> FnCtx<'a> {
             });
             asm.push_branch(janus_ir::Cond::Ge, peel_done.clone());
             let r = self.eval_int(asm, &Expr::Var(var.to_string()), 0)?;
-            asm.push(Inst::alu(AluOp::And, Operand::reg(r), Operand::imm(i64::from(lanes) - 1)));
+            asm.push(Inst::alu(
+                AluOp::And,
+                Operand::reg(r),
+                Operand::imm(i64::from(lanes) - 1),
+            ));
             asm.push(Inst::Test {
                 lhs: Operand::reg(r),
                 rhs: Operand::reg(r),
@@ -1115,10 +1104,7 @@ impl<'a> FnCtx<'a> {
                     disp: g.addr as i64,
                 }
             }
-            VecTarget::Ptr(ptr) => {
-                let mem = self.ptr_ref(asm, ptr, &Expr::Var(var.to_string()), 1)?;
-                mem
-            }
+            VecTarget::Ptr(ptr) => self.ptr_ref(asm, ptr, &Expr::Var(var.to_string()), 1)?,
         };
         asm.push(Inst::VMov {
             dst: Operand::mem(dst_mem),
@@ -1292,7 +1278,11 @@ impl<'a> FnCtx<'a> {
             let ty = self.expr_type(arg)?;
             if ty.is_float() {
                 let r = self.eval_float(asm, arg, 0)?;
-                asm.push(Inst::alu(AluOp::Sub, Operand::reg(Reg::SP), Operand::imm(8)));
+                asm.push(Inst::alu(
+                    AluOp::Sub,
+                    Operand::reg(Reg::SP),
+                    Operand::imm(8),
+                ));
                 asm.push(Inst::FMov {
                     dst: Operand::mem(MemRef::base(Reg::SP)),
                     src: Operand::reg(r),
@@ -1322,7 +1312,11 @@ impl<'a> FnCtx<'a> {
                     dst: Operand::reg(Reg::vreg(flt_idx as u8)),
                     src: Operand::mem(MemRef::base(Reg::SP)),
                 });
-                asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::SP), Operand::imm(8)));
+                asm.push(Inst::alu(
+                    AluOp::Add,
+                    Operand::reg(Reg::SP),
+                    Operand::imm(8),
+                ));
             } else {
                 int_idx -= 1;
                 asm.push(Inst::Pop {
@@ -1645,10 +1639,7 @@ mod tests {
                             vec![Stmt::assign(
                                 LValue::store("b", Expr::var("i")),
                                 Expr::add(
-                                    Expr::mul(
-                                        Expr::load("a", Expr::var("i")),
-                                        Expr::const_f(2.0),
-                                    ),
+                                    Expr::mul(Expr::load("a", Expr::var("i")), Expr::const_f(2.0)),
                                     Expr::const_f(1.0),
                                 ),
                             )],
@@ -1700,16 +1691,14 @@ mod tests {
                         Expr::const_i(1),
                     )))]),
             )
-            .function(
-                Function::new("main").local("r", Ty::I64).body(vec![
-                    Stmt::Call {
-                        name: "addmul".into(),
-                        args: vec![Expr::const_i(6), Expr::const_i(7)],
-                        ret: Some(LValue::var("r")),
-                    },
-                    Stmt::print(Expr::var("r")),
-                ]),
-            )
+            .function(Function::new("main").local("r", Ty::I64).body(vec![
+                Stmt::Call {
+                    name: "addmul".into(),
+                    args: vec![Expr::const_i(6), Expr::const_i(7)],
+                    ret: Some(LValue::var("r")),
+                },
+                Stmt::print(Expr::var("r")),
+            ]))
             .build();
         let vm = run(&program, CompileOptions::gcc_o3());
         assert_eq!(vm.output_ints(), &[43]);
@@ -1718,16 +1707,10 @@ mod tests {
     #[test]
     fn external_call_to_sqrt_via_plt() {
         let program = Program::builder("ext")
-            .function(
-                Function::new("main").local("x", Ty::F64).body(vec![
-                    Stmt::call_ext(
-                        "sqrt",
-                        vec![Expr::const_f(81.0)],
-                        Some(LValue::var("x")),
-                    ),
-                    Stmt::print(Expr::var("x")),
-                ]),
-            )
+            .function(Function::new("main").local("x", Ty::F64).body(vec![
+                Stmt::call_ext("sqrt", vec![Expr::const_f(81.0)], Some(LValue::var("x"))),
+                Stmt::print(Expr::var("x")),
+            ]))
             .build();
         let vm = run(&program, CompileOptions::gcc_o3());
         assert_eq!(vm.output_floats(), &[9.0]);
@@ -1815,20 +1798,18 @@ mod tests {
                         )],
                     )]),
             )
-            .function(
-                Function::new("main").body(vec![
-                    Stmt::Call {
-                        name: "kernel".into(),
-                        args: vec![
-                            Expr::addr_of("dst"),
-                            Expr::addr_of("src"),
-                            Expr::const_i(n as i64),
-                        ],
-                        ret: None,
-                    },
-                    Stmt::print(Expr::load("dst", Expr::const_i(5))),
-                ]),
-            )
+            .function(Function::new("main").body(vec![
+                Stmt::Call {
+                    name: "kernel".into(),
+                    args: vec![
+                        Expr::addr_of("dst"),
+                        Expr::addr_of("src"),
+                        Expr::const_i(n as i64),
+                    ],
+                    ret: None,
+                },
+                Stmt::print(Expr::load("dst", Expr::const_i(5))),
+            ]))
             .build();
         let vm = run(&program, CompileOptions::gcc_o3());
         assert_eq!(vm.output_floats(), &[6.0]);
@@ -1847,23 +1828,21 @@ mod tests {
                 LValue::store("out", Expr::const_i(0)),
                 Expr::const_i(2),
             )]))
-            .function(
-                Function::new("main").local("i", Ty::I64).body(vec![
-                    Stmt::assign(
-                        LValue::store("table", Expr::const_i(0)),
-                        Expr::AddrOfFn("write_one".into()),
-                    ),
-                    Stmt::assign(
-                        LValue::store("table", Expr::const_i(1)),
-                        Expr::AddrOfFn("write_two".into()),
-                    ),
-                    Stmt::CallIndirect {
-                        table: "table".into(),
-                        index: Expr::const_i(1),
-                    },
-                    Stmt::print(Expr::load("out", Expr::const_i(0))),
-                ]),
-            )
+            .function(Function::new("main").local("i", Ty::I64).body(vec![
+                Stmt::assign(
+                    LValue::store("table", Expr::const_i(0)),
+                    Expr::AddrOfFn("write_one".into()),
+                ),
+                Stmt::assign(
+                    LValue::store("table", Expr::const_i(1)),
+                    Expr::AddrOfFn("write_two".into()),
+                ),
+                Stmt::CallIndirect {
+                    table: "table".into(),
+                    index: Expr::const_i(1),
+                },
+                Stmt::print(Expr::load("out", Expr::const_i(0))),
+            ]))
             .build();
         let vm = run(&program, CompileOptions::gcc_o3());
         assert_eq!(vm.output_ints(), &[2]);

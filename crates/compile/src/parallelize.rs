@@ -23,7 +23,13 @@ pub fn parallelize(program: &Program, options: &CompileOptions) -> Program {
         f.body = body
             .into_iter()
             .map(|stmt| {
-                transform_stmt(stmt, f.name.clone(), options, &mut new_functions, &mut counter)
+                transform_stmt(
+                    stmt,
+                    f.name.clone(),
+                    options,
+                    &mut new_functions,
+                    &mut counter,
+                )
             })
             .collect();
     }
@@ -173,9 +179,7 @@ fn expr_is_safe(expr: &Expr, var: &str, options: &CompileOptions) -> bool {
 
 fn reads_of_written_ok(expr: &Expr, var: &str, written: &HashSet<String>) -> bool {
     match expr {
-        Expr::Load { array, index } => {
-            !written.contains(array) || index_is_loop_var(index, var)
-        }
+        Expr::Load { array, index } => !written.contains(array) || index_is_loop_var(index, var),
         Expr::Binary { lhs, rhs, .. } => {
             reads_of_written_ok(lhs, var, written) && reads_of_written_ok(rhs, var, written)
         }
@@ -202,20 +206,18 @@ mod tests {
                 init: Init::Iota,
             })
             .global_f64("b", n)
-            .function(
-                Function::new("main").local("i", Ty::I64).body(vec![
-                    Stmt::simple_for(
-                        "i",
-                        Expr::const_i(0),
-                        Expr::const_i(n as i64),
-                        vec![Stmt::assign(
-                            LValue::store("b", Expr::var("i")),
-                            Expr::mul(Expr::load("a", Expr::var("i")), Expr::const_f(3.0)),
-                        )],
-                    ),
-                    Stmt::print(Expr::load("b", Expr::const_i(10))),
-                ]),
-            )
+            .function(Function::new("main").local("i", Ty::I64).body(vec![
+                Stmt::simple_for(
+                    "i",
+                    Expr::const_i(0),
+                    Expr::const_i(n as i64),
+                    vec![Stmt::assign(
+                        LValue::store("b", Expr::var("i")),
+                        Expr::mul(Expr::load("a", Expr::var("i")), Expr::const_f(3.0)),
+                    )],
+                ),
+                Stmt::print(Expr::load("b", Expr::const_i(10))),
+            ]))
             .build()
     }
 

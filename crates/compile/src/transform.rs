@@ -188,8 +188,9 @@ mod tests {
             .global_i64("a", 64)
             .global_i64("b", 64)
             .function(
-                Function::new("main").local("i", Ty::I64).body(vec![
-                    Stmt::simple_for(
+                Function::new("main")
+                    .local("i", Ty::I64)
+                    .body(vec![Stmt::simple_for(
                         "i",
                         Expr::const_i(0),
                         Expr::const_i(64),
@@ -197,8 +198,7 @@ mod tests {
                             LValue::store("b", Expr::var("i")),
                             Expr::load("a", Expr::var("i")),
                         )],
-                    ),
-                ]),
+                    )]),
             )
             .build()
     }

@@ -11,7 +11,7 @@
 //!    DOALL loops and falling back to dynamic DOALL loops when runtime checks
 //!    are enabled; low-coverage loops are filtered when profile data is
 //!    available.
-//! 4. **Rewrite-schedule generation** ([`generate_schedule`]): the selected
+//! 4. **Rewrite-schedule generation** ([`Janus::generate_schedule`]): the selected
 //!    loops are encoded as `LOOP_INIT` / `LOOP_FINISH` / `LOOP_UPDATE_BOUND` /
 //!    `MEM_*` / `TX_*` rules.
 //! 5. **Execution** under the dynamic binary modifier ([`janus_dbm::Dbm`]),
@@ -280,7 +280,9 @@ impl Janus {
                     if p.coverage(l.id) < self.config.coverage_threshold {
                         return false;
                     }
-                    if p.loop_profile(l.id).map_or(false, |lp| lp.observed_dependence) {
+                    if p.loop_profile(l.id)
+                        .is_some_and(|lp| lp.observed_dependence)
+                    {
                         return false; // actually a Type D loop
                     }
                 }
@@ -423,13 +425,13 @@ fn rulegen_supported(l: &LoopInfo) -> bool {
         return false;
     }
     // Reductions must also live in registers for the same reason.
-    if l.reductions.iter().any(|r| !matches!(r.var, VarRef::Reg(_))) {
+    if l.reductions
+        .iter()
+        .any(|r| !matches!(r.var, VarRef::Reg(_)))
+    {
         return false;
     }
-    !matches!(
-        bound.continue_cond,
-        Cond::Eq | Cond::Below | Cond::AboveEq
-    )
+    !matches!(bound.continue_cond, Cond::Eq | Cond::Below | Cond::AboveEq)
 }
 
 fn cond_code(c: Cond) -> i64 {
@@ -639,7 +641,9 @@ mod tests {
         });
         let report = janus.run(&bin, &[]).unwrap();
         assert!(report.outputs_match);
-        assert!(report.selected_loops.is_empty() || report.parallel.stats.parallel_invocations == 0);
+        assert!(
+            report.selected_loops.is_empty() || report.parallel.stats.parallel_invocations == 0
+        );
         assert!(
             report.speedup() <= 1.0,
             "pure DBM execution cannot be faster than native, got {:.3}",
@@ -673,22 +677,22 @@ mod tests {
                         )],
                     )]),
             )
-            .function(
-                ast::Function::new("main").body(vec![
-                    ast::Stmt::Call {
-                        name: "kernel".into(),
-                        args: vec![
-                            ast::Expr::addr_of("y"),
-                            ast::Expr::addr_of("x"),
-                            ast::Expr::const_i(2048),
-                        ],
-                        ret: None,
-                    },
-                    ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(33))),
-                ]),
-            )
+            .function(ast::Function::new("main").body(vec![
+                ast::Stmt::Call {
+                    name: "kernel".into(),
+                    args: vec![
+                        ast::Expr::addr_of("y"),
+                        ast::Expr::addr_of("x"),
+                        ast::Expr::const_i(2048),
+                    ],
+                    ret: None,
+                },
+                ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(33))),
+            ]))
             .build();
-        let bin = Compiler::with_options(CompileOptions::gcc_o2()).compile(&p).unwrap();
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&p)
+            .unwrap();
 
         let static_only = Janus::with_config(JanusConfig {
             mode: OptimisationMode::StaticallyDriven,
@@ -713,33 +717,37 @@ mod tests {
             .global_f64("b", 4096)
             .global_f64("c", 8)
             .function(
-                ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
-                    ast::Stmt::simple_for(
-                        "i",
-                        ast::Expr::const_i(0),
-                        ast::Expr::const_i(8),
-                        vec![ast::Stmt::assign(
-                            ast::LValue::store("c", ast::Expr::var("i")),
-                            ast::Expr::const_f(2.0),
-                        )],
-                    ),
-                    ast::Stmt::simple_for(
-                        "i",
-                        ast::Expr::const_i(0),
-                        ast::Expr::const_i(4096),
-                        vec![ast::Stmt::assign(
-                            ast::LValue::store("b", ast::Expr::var("i")),
-                            ast::Expr::mul(
-                                ast::Expr::load("a", ast::Expr::var("i")),
-                                ast::Expr::const_f(3.0),
-                            ),
-                        )],
-                    ),
-                    ast::Stmt::print(ast::Expr::load("b", ast::Expr::const_i(5))),
-                ]),
+                ast::Function::new("main")
+                    .local("i", ast::Ty::I64)
+                    .body(vec![
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(8),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::store("c", ast::Expr::var("i")),
+                                ast::Expr::const_f(2.0),
+                            )],
+                        ),
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(4096),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::store("b", ast::Expr::var("i")),
+                                ast::Expr::mul(
+                                    ast::Expr::load("a", ast::Expr::var("i")),
+                                    ast::Expr::const_f(3.0),
+                                ),
+                            )],
+                        ),
+                        ast::Stmt::print(ast::Expr::load("b", ast::Expr::const_i(5))),
+                    ]),
             )
             .build();
-        let bin = Compiler::with_options(CompileOptions::gcc_o2()).compile(&p).unwrap();
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&p)
+            .unwrap();
         let with_profile = Janus::with_config(JanusConfig {
             mode: OptimisationMode::StaticallyDrivenProfile,
             ..JanusConfig::default()
@@ -783,6 +791,9 @@ mod tests {
             );
             last = s;
         }
-        assert!(last > 3.0, "8 threads should give a solid speedup, got {last:.2}");
+        assert!(
+            last > 3.0,
+            "8 threads should give a solid speedup, got {last:.2}"
+        );
     }
 }

@@ -140,7 +140,12 @@ impl CycleBreakdown {
     /// Total virtual execution time.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.sequential + self.parallel + self.init_finish + self.translation + self.checks + self.stm
+        self.sequential
+            + self.parallel
+            + self.init_finish
+            + self.translation
+            + self.checks
+            + self.stm
     }
 
     /// The fraction of total time spent in each category, in the order
@@ -164,7 +169,12 @@ impl fmt::Display for CycleBreakdown {
         write!(
             f,
             "sequential {} | parallel {} | init/finish {} | translation {} | checks {} | stm {}",
-            self.sequential, self.parallel, self.init_finish, self.translation, self.checks, self.stm
+            self.sequential,
+            self.parallel,
+            self.init_finish,
+            self.translation,
+            self.checks,
+            self.stm
         )
     }
 }
@@ -273,10 +283,8 @@ mod tests {
     fn errors_convert_and_display() {
         let e: DbmError = janus_vm::VmError::BadPc { pc: 0x10 }.into();
         assert!(e.to_string().contains("guest execution failed"));
-        assert!(DbmError::BadRule {
-            reason: "x".into()
-        }
-        .to_string()
-        .contains("bad rewrite rule"));
+        assert!(DbmError::BadRule { reason: "x".into() }
+            .to_string()
+            .contains("bad rewrite rule"));
     }
 }

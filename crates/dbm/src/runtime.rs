@@ -190,9 +190,7 @@ impl Dbm {
     pub fn new(process: Process, schedule: &RewriteSchedule, config: DbmConfig) -> Dbm {
         let mut loops: HashMap<usize, LoopRt> = HashMap::new();
         for rule in schedule.rules() {
-            let entry = loops
-                .entry(rule.loop_id())
-                .or_insert_with(LoopRt::default);
+            let entry = loops.entry(rule.loop_id()).or_default();
             match rule.id {
                 RuleId::LoopInit => {
                     entry.header = rule.addr;
@@ -524,7 +522,9 @@ impl Dbm {
         let main_sp = self.main.sp();
         let frame_lo = main_sp.saturating_sub(256);
         let frame_hi = main_fp + 768;
-        let frame_bytes = self.mem.read_bytes(frame_lo, (frame_hi - frame_lo) as usize);
+        let frame_bytes = self
+            .mem
+            .read_bytes(frame_lo, (frame_hi - frame_lo) as usize);
 
         let mut thread_cpus: Vec<Cpu> = Vec::new();
         let mut exit_pc = None;
@@ -532,13 +532,15 @@ impl Dbm {
         let mut reduction_totals: Vec<i64> = lr
             .reductions
             .iter()
-            .map(|(_var, _, is_float)| {
-                if *is_float {
-                    0f64.to_bits() as i64
-                } else {
-                    0
-                }
-            })
+            .map(
+                |(_var, _, is_float)| {
+                    if *is_float {
+                        0f64.to_bits() as i64
+                    } else {
+                        0
+                    }
+                },
+            )
             .collect();
 
         let num_chunks = ((iterations + chunk - 1) / chunk) as usize;
@@ -560,8 +562,8 @@ impl Dbm {
 
             // LOOP_UPDATE_BOUND: the thread's bound is its chunk end.
             let thread_bound = match lr.continue_cond {
-                3 => thread_end - lr.step,  // Le
-                5 => thread_end - lr.step,  // Ge
+                3 => thread_end - lr.step, // Le
+                5 => thread_end - lr.step, // Ge
                 _ => thread_end,
             };
             // Thread-private induction start.
@@ -584,14 +586,16 @@ impl Dbm {
             self.stats.breakdown.init_finish += self.config.loop_finish_cost;
 
             // Accumulate reduction contributions.
-            for (idx, (var, op, is_float)) in lr.reductions.iter().enumerate() {
+            // Both add- and sub-reductions merge by addition: every thread
+            // after the first starts from the identity, so its accumulator
+            // holds a (possibly negative) delta to fold into the total.
+            for (idx, (var, _op, is_float)) in lr.reductions.iter().enumerate() {
                 let v = var.read(&cpu, &mut self.mem);
                 let total = &mut reduction_totals[idx];
                 if *is_float {
                     let sum = f64::from_bits(*total as u64);
                     let val = f64::from_bits(v as u64);
-                    let new = if *op == 1 { sum + val } else { sum + val };
-                    *total = new.to_bits() as i64;
+                    *total = (sum + val).to_bits() as i64;
                 } else {
                     *total = total.wrapping_add(v);
                 }
@@ -613,11 +617,7 @@ impl Dbm {
         // Stack-slot induction variables live in the (private) frame of the
         // last thread; propagate the final value to the main frame.
         if let VarSpec::Stack(_) = induction {
-            let final_value = {
-                let last_cpu = thread_cpus.last().unwrap().clone();
-                let mut tmp = last_cpu;
-                induction.read(&mut tmp, &mut self.mem)
-            };
+            let final_value = induction.read(thread_cpus.last().unwrap(), &mut self.mem);
             induction.write(&mut self.main, &mut self.mem, final_value);
         }
         // Combined reductions overwrite the merged context.

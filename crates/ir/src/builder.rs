@@ -385,10 +385,7 @@ mod tests {
         let mut asm = AsmBuilder::new();
         asm.label("main");
         asm.push_jmp("nowhere");
-        assert!(matches!(
-            asm.finish(),
-            Err(IrError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(asm.finish(), Err(IrError::UndefinedLabel { .. })));
     }
 
     #[test]
@@ -422,7 +419,11 @@ mod tests {
         asm.push_call_ext("pow");
         asm.push(Inst::Halt);
         asm.function("helper");
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::Ret);
         let bin = asm.finish_binary("main").unwrap();
         assert_eq!(bin.entry(), TEXT_BASE);

@@ -24,7 +24,12 @@ pub struct DecodedInst {
 ///
 /// Returns an error if any instruction fails to decode.
 pub fn disassemble(binary: &JBinary) -> Result<Vec<DecodedInst>> {
-    disassemble_range(binary.text_base(), binary.text(), binary.text_base(), binary.text_end())
+    disassemble_range(
+        binary.text_base(),
+        binary.text(),
+        binary.text_base(),
+        binary.text_end(),
+    )
 }
 
 /// Disassembles the instructions within `[start, end)` of a text section that
@@ -106,7 +111,11 @@ mod tests {
             Operand::mem(MemRef::base_index(Reg::R8, Reg::R0, 8)),
             Operand::imm(1),
         ));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::imm(100)));
         asm.push_branch(Cond::Lt, "loop");
         asm.push(Inst::Halt);

@@ -239,7 +239,11 @@ pub fn encode(inst: &Inst) -> [u8; INST_SIZE] {
 ///
 /// Panics if `out.len() != INST_SIZE`.
 pub fn encode_into(inst: &Inst, out: &mut [u8]) {
-    assert_eq!(out.len(), INST_SIZE, "encode buffer must be INST_SIZE bytes");
+    assert_eq!(
+        out.len(),
+        INST_SIZE,
+        "encode buffer must be INST_SIZE bytes"
+    );
     out.fill(0);
     let (op1, op2): (Option<&Operand>, Option<&Operand>);
     match inst {
@@ -516,7 +520,12 @@ pub fn decode(addr: u64, bytes: &[u8]) -> Result<Inst> {
         OP_SYSCALL => Inst::Syscall {
             num: (u64field & 0xffff_ffff) as u32,
         },
-        other => return Err(IrError::InvalidOpcode { addr, opcode: other }),
+        other => {
+            return Err(IrError::InvalidOpcode {
+                addr,
+                opcode: other,
+            })
+        }
     };
     Ok(inst)
 }

@@ -35,7 +35,10 @@ impl AluOp {
     /// Returns `true` if the operation is commutative.
     #[must_use]
     pub fn is_commutative(self) -> bool {
-        matches!(self, AluOp::Add | AluOp::Mul | AluOp::And | AluOp::Or | AluOp::Xor)
+        matches!(
+            self,
+            AluOp::Add | AluOp::Mul | AluOp::And | AluOp::Or | AluOp::Xor
+        )
     }
 
     /// Mnemonic used by the disassembler.
@@ -424,7 +427,10 @@ impl Inst {
     #[must_use]
     pub fn is_terminator(&self) -> bool {
         !matches!(self.control_flow(), ControlFlow::FallThrough)
-            || matches!(self, Inst::Call { .. } | Inst::CallInd { .. } | Inst::CallExt { .. })
+            || matches!(
+                self,
+                Inst::Call { .. } | Inst::CallInd { .. } | Inst::CallExt { .. }
+            )
     }
 
     /// Returns `true` if this instruction writes the flags register.
@@ -447,9 +453,7 @@ impl Inst {
     pub fn reads(&self) -> Vec<Reg> {
         let mut out = Vec::new();
         match self {
-            Inst::Mov { dst, src }
-            | Inst::FMov { dst, src }
-            | Inst::VMov { dst, src, .. } => {
+            Inst::Mov { dst, src } | Inst::FMov { dst, src } | Inst::VMov { dst, src, .. } => {
                 out.extend(src.read_regs());
                 out.extend(dst.dest_addr_regs());
             }
@@ -680,7 +684,10 @@ mod tests {
         let reads = i.reads();
         assert!(reads.contains(&Reg::R2));
         assert!(reads.contains(&Reg::R0));
-        assert!(i.writes().is_empty(), "memory destination writes no register");
+        assert!(
+            i.writes().is_empty(),
+            "memory destination writes no register"
+        );
         assert!(i.mem_read().is_some());
         assert!(i.mem_write().is_some());
         assert!(i.touches_memory());

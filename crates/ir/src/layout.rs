@@ -36,16 +36,21 @@ mod tests {
 
     #[test]
     fn regions_are_disjoint_and_ordered() {
-        assert!(TEXT_BASE < DATA_BASE);
-        assert!(DATA_BASE < HEAP_BASE);
-        assert!(HEAP_BASE < SYSLIB_BASE);
-        assert!(SYSLIB_BASE < SYSLIB_DATA_BASE);
-        assert!(SYSLIB_DATA_BASE < STACK_BASE - STACK_SIZE);
+        // Evaluated at compile time: a bad layout constant fails the build.
+        const {
+            assert!(TEXT_BASE < DATA_BASE);
+            assert!(DATA_BASE < HEAP_BASE);
+            assert!(HEAP_BASE < SYSLIB_BASE);
+            assert!(SYSLIB_BASE < SYSLIB_DATA_BASE);
+            assert!(SYSLIB_DATA_BASE < STACK_BASE - STACK_SIZE);
+        }
     }
 
     #[test]
     fn stack_region_is_nonempty() {
-        assert!(STACK_SIZE > 0);
-        assert!(STACK_BASE > STACK_SIZE);
+        const {
+            assert!(STACK_SIZE > 0);
+            assert!(STACK_BASE > STACK_SIZE);
+        }
     }
 }

@@ -78,10 +78,7 @@ impl Reg {
     /// Panics if `index >= NUM_GPR`.
     #[must_use]
     pub fn gpr(index: u8) -> Reg {
-        assert!(
-            (index as usize) < NUM_GPR,
-            "gpr index {index} out of range"
-        );
+        assert!((index as usize) < NUM_GPR, "gpr index {index} out of range");
         Reg(index)
     }
 

@@ -3,8 +3,7 @@
 //! encode/decode round trip, and any binary must survive serialisation.
 
 use janus_ir::{
-    decode, encode, AluOp, AsmBuilder, Cond, FpuOp, Inst, JBinary, MemRef, Operand, Reg,
-    INST_SIZE,
+    decode, encode, AluOp, AsmBuilder, Cond, FpuOp, Inst, JBinary, MemRef, Operand, Reg, INST_SIZE,
 };
 use proptest::prelude::*;
 
@@ -96,31 +95,55 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         Just(Inst::Ret),
         (arb_operand(), arb_operand()).prop_map(|(dst, src)| Inst::Mov { dst, src }),
         (arb_gpr(), arb_memref()).prop_map(|(dst, mem)| Inst::Lea { dst, mem }),
-        (arb_alu_op(), arb_operand(), arb_operand())
-            .prop_map(|(op, dst, src)| Inst::Alu { op, dst, src }),
+        (arb_alu_op(), arb_operand(), arb_operand()).prop_map(|(op, dst, src)| Inst::Alu {
+            op,
+            dst,
+            src
+        }),
         (arb_operand(), arb_operand()).prop_map(|(dst, src)| Inst::FMov { dst, src }),
-        (arb_fpu_op(), arb_operand(), arb_operand())
-            .prop_map(|(op, dst, src)| Inst::Fpu { op, dst, src }),
-        (arb_operand(), arb_operand(), arb_lanes())
-            .prop_map(|(dst, src, lanes)| Inst::VMov { dst, src, lanes }),
-        (arb_fpu_op(), arb_vreg(), arb_operand(), arb_lanes())
-            .prop_map(|(op, dst, src, lanes)| Inst::Vec { op, dst, src, lanes }),
+        (arb_fpu_op(), arb_operand(), arb_operand()).prop_map(|(op, dst, src)| Inst::Fpu {
+            op,
+            dst,
+            src
+        }),
+        (arb_operand(), arb_operand(), arb_lanes()).prop_map(|(dst, src, lanes)| Inst::VMov {
+            dst,
+            src,
+            lanes
+        }),
+        (arb_fpu_op(), arb_vreg(), arb_operand(), arb_lanes()).prop_map(|(op, dst, src, lanes)| {
+            Inst::Vec {
+                op,
+                dst,
+                src,
+                lanes,
+            }
+        }),
         (arb_vreg(), arb_operand()).prop_map(|(dst, src)| Inst::CvtIntToFloat { dst, src }),
         (arb_gpr(), arb_operand()).prop_map(|(dst, src)| Inst::CvtFloatToInt { dst, src }),
         (arb_operand(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Cmp { lhs, rhs }),
         (arb_operand(), arb_operand()).prop_map(|(lhs, rhs)| Inst::FCmp { lhs, rhs }),
         (arb_operand(), arb_operand()).prop_map(|(lhs, rhs)| Inst::Test { lhs, rhs }),
-        (arb_cond(), arb_gpr(), arb_operand())
-            .prop_map(|(cond, dst, src)| Inst::CMov { cond, dst, src }),
-        any::<u32>().prop_map(|t| Inst::Jmp { target: u64::from(t) }),
+        (arb_cond(), arb_gpr(), arb_operand()).prop_map(|(cond, dst, src)| Inst::CMov {
+            cond,
+            dst,
+            src
+        }),
+        any::<u32>().prop_map(|t| Inst::Jmp {
+            target: u64::from(t)
+        }),
         (arb_cond(), any::<u32>()).prop_map(|(cond, t)| Inst::Jcc {
             cond,
             target: u64::from(t)
         }),
         arb_operand().prop_map(|target| Inst::JmpInd { target }),
-        any::<u32>().prop_map(|t| Inst::Call { target: u64::from(t) }),
+        any::<u32>().prop_map(|t| Inst::Call {
+            target: u64::from(t)
+        }),
         arb_operand().prop_map(|target| Inst::CallInd { target }),
-        any::<u16>().prop_map(|plt| Inst::CallExt { plt: u32::from(plt) }),
+        any::<u16>().prop_map(|plt| Inst::CallExt {
+            plt: u32::from(plt)
+        }),
         arb_operand().prop_map(|src| Inst::Push { src }),
         arb_operand().prop_map(|dst| Inst::Pop { dst }),
         (0u32..6).prop_map(|num| Inst::Syscall { num }),

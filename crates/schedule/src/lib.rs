@@ -220,7 +220,9 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::Malformed { reason } => write!(f, "malformed rewrite schedule: {reason}"),
+            ScheduleError::Malformed { reason } => {
+                write!(f, "malformed rewrite schedule: {reason}")
+            }
         }
     }
 }
@@ -468,7 +470,11 @@ mod tests {
         s.push(RewriteRule::new(0x400200, RuleId::LoopUpdateBound));
         let idx = s.index();
         assert_eq!(idx.at(0x400100).len(), 2);
-        assert_eq!(idx.at(0x400100)[0].id, RuleId::MemMainStack, "order preserved");
+        assert_eq!(
+            idx.at(0x400100)[0].id,
+            RuleId::MemMainStack,
+            "order preserved"
+        );
         assert_eq!(idx.at(0x400300).len(), 0);
         assert!(idx.contains(0x400200));
         assert_eq!(idx.len(), 2);

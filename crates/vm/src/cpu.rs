@@ -203,7 +203,7 @@ mod tests {
 
         f.set_cmp(-1, 1);
         assert!(f.eval(Cond::Lt));
-        assert!(f.eval(Cond::Below) == false || true, "unsigned: -1 is huge");
+        assert!(!f.eval(Cond::Below), "unsigned: -1 is huge");
 
         f.set_cmp(7, 3);
         assert!(f.eval(Cond::Gt));

@@ -455,8 +455,13 @@ mod tests {
     fn call_and_ret_use_the_stack() {
         let (mut cpu, mut mem) = ctx();
         let sp0 = cpu.sp();
-        let eff = exec_inst(&mut cpu, &mut mem, &Inst::Call { target: 0x401000 }, 0x400040)
-            .unwrap();
+        let eff = exec_inst(
+            &mut cpu,
+            &mut mem,
+            &Inst::Call { target: 0x401000 },
+            0x400040,
+        )
+        .unwrap();
         assert_eq!(eff, Effect::Jump(0x401000));
         assert_eq!(cpu.sp(), sp0 - 8);
         assert_eq!(mem.read_u64(cpu.sp()), 0x400040);

@@ -42,18 +42,16 @@ pub fn build_syslib() -> JBinary {
     let pow_coeffs = asm.f64_array(
         "pow_coeffs",
         8,
-        &[0.9931, 0.0084, 0.4997, 0.1664, 0.0419, 0.0083, 0.0014, 0.0002],
+        &[
+            0.9931, 0.0084, 0.4997, 0.1664, 0.0419, 0.0083, 0.0014, 0.0002,
+        ],
     );
     let exp_coeffs = asm.f64_array(
         "exp_coeffs",
         6,
         &[1.0, 1.0, 0.5, 0.166_666_7, 0.041_666_7, 0.008_333_3],
     );
-    let log_coeffs = asm.f64_array(
-        "log_coeffs",
-        6,
-        &[0.0, 1.0, -0.5, 0.333_333_3, -0.25, 0.2],
-    );
+    let log_coeffs = asm.f64_array("log_coeffs", 6, &[0.0, 1.0, -0.5, 0.333_333_3, -0.25, 0.2]);
     let sin_coeffs = asm.f64_array(
         "sin_coeffs",
         5,
@@ -161,7 +159,11 @@ fn build_pow(asm: &mut AsmBuilder, coeffs: u64) {
         src: Operand::reg(Reg::V3),
     });
     // i += 1; loop while i < 8
-    asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R1), Operand::imm(1)));
+    asm.push(Inst::alu(
+        AluOp::Add,
+        Operand::reg(Reg::R1),
+        Operand::imm(1),
+    ));
     asm.push(Inst::cmp(Operand::reg(Reg::R1), Operand::imm(8)));
     asm.push_branch(Cond::Lt, "pow_loop");
     // result
@@ -197,7 +199,11 @@ fn build_poly_fn(asm: &mut AsmBuilder, name: &str, coeffs: u64, terms: i64) {
             disp: coeffs as i64,
         }),
     });
-    asm.push(Inst::alu(AluOp::Sub, Operand::reg(Reg::R1), Operand::imm(1)));
+    asm.push(Inst::alu(
+        AluOp::Sub,
+        Operand::reg(Reg::R1),
+        Operand::imm(1),
+    ));
     asm.label(loop_label.clone());
     // acc = acc * x + coeffs[i]
     asm.push(Inst::Fpu {
@@ -219,7 +225,11 @@ fn build_poly_fn(asm: &mut AsmBuilder, name: &str, coeffs: u64, terms: i64) {
         dst: Operand::reg(Reg::V2),
         src: Operand::reg(Reg::V3),
     });
-    asm.push(Inst::alu(AluOp::Sub, Operand::reg(Reg::R1), Operand::imm(1)));
+    asm.push(Inst::alu(
+        AluOp::Sub,
+        Operand::reg(Reg::R1),
+        Operand::imm(1),
+    ));
     asm.push(Inst::cmp(Operand::reg(Reg::R1), Operand::imm(0)));
     asm.push_branch(Cond::Ge, loop_label);
     asm.push(Inst::FMov {
@@ -288,7 +298,11 @@ fn build_memcpy(asm: &mut AsmBuilder) {
         Operand::mem(MemRef::base_index(Reg::R0, Reg::R3, 1)),
         Operand::reg(Reg::R4),
     ));
-    asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R3), Operand::imm(8)));
+    asm.push(Inst::alu(
+        AluOp::Add,
+        Operand::reg(Reg::R3),
+        Operand::imm(8),
+    ));
     asm.push_jmp("memcpy_loop");
     asm.label("memcpy_done");
     asm.push(Inst::Pop {
@@ -314,7 +328,11 @@ fn build_memset(asm: &mut AsmBuilder) {
         Operand::mem(MemRef::base_index(Reg::R0, Reg::R3, 1)),
         Operand::reg(Reg::R1),
     ));
-    asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R3), Operand::imm(8)));
+    asm.push(Inst::alu(
+        AluOp::Add,
+        Operand::reg(Reg::R3),
+        Operand::imm(8),
+    ));
     asm.push_jmp("memset_loop");
     asm.label("memset_done");
     asm.push(Inst::Pop {
@@ -342,7 +360,11 @@ fn build_isum(asm: &mut AsmBuilder) {
         Operand::reg(Reg::R2),
         Operand::mem(MemRef::base_index(Reg::R0, Reg::R3, 8)),
     ));
-    asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R3), Operand::imm(1)));
+    asm.push(Inst::alu(
+        AluOp::Add,
+        Operand::reg(Reg::R3),
+        Operand::imm(1),
+    ));
     asm.push_jmp("isum_loop");
     asm.label("isum_done");
     asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::reg(Reg::R2)));

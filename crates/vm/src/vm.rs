@@ -220,9 +220,8 @@ impl Vm {
         // Replace the serial sum of chunk times by the parallel maximum plus
         // the spawn/join overhead.
         let serial = self.cpu.cycles - cycles_before;
-        self.cpu.cycles = cycles_before
-            + max_chunk_cycles
-            + self.config.spawn_overhead * threads as u64;
+        self.cpu.cycles =
+            cycles_before + max_chunk_cycles + self.config.spawn_overhead * threads as u64;
         let _ = serial;
         Ok(())
     }
@@ -332,7 +331,11 @@ mod tests {
             asm.push(Inst::mov(Operand::reg(Reg::R0), Operand::imm(0)));
             asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::imm(1000)));
             asm.label("loop");
-            asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+            asm.push(Inst::alu(
+                AluOp::Add,
+                Operand::reg(Reg::R0),
+                Operand::imm(1),
+            ));
             asm.push(Inst::cmp(Operand::reg(Reg::R0), Operand::reg(Reg::R1)));
             asm.push_branch(Cond::Lt, "loop");
             asm.push(Inst::mov(Operand::reg(Reg::R1), Operand::reg(Reg::R0)));
@@ -481,10 +484,7 @@ mod tests {
                 ..VmConfig::default()
             },
         );
-        assert!(matches!(
-            vm.run(),
-            Err(VmError::CycleLimitExceeded { .. })
-        ));
+        assert!(matches!(vm.run(), Err(VmError::CycleLimitExceeded { .. })));
     }
 
     #[test]
@@ -518,7 +518,11 @@ mod tests {
             }),
             Operand::reg(Reg::R0),
         ));
-        asm.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+        asm.push(Inst::alu(
+            AluOp::Add,
+            Operand::reg(Reg::R0),
+            Operand::imm(1),
+        ));
         asm.push_jmp("body_loop");
         asm.label("body_done");
         asm.push(Inst::Ret);
@@ -558,7 +562,11 @@ mod tests {
                 }),
                 Operand::reg(Reg::R0),
             ));
-            asm2.push(Inst::alu(AluOp::Add, Operand::reg(Reg::R0), Operand::imm(1)));
+            asm2.push(Inst::alu(
+                AluOp::Add,
+                Operand::reg(Reg::R0),
+                Operand::imm(1),
+            ));
             asm2.push_jmp("body_loop");
             asm2.label("body_done");
             asm2.push(Inst::Ret);

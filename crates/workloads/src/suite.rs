@@ -88,7 +88,10 @@ pub fn all_names() -> Vec<&'static str> {
 /// Builds the whole suite.
 #[must_use]
 pub fn suite() -> Vec<Workload> {
-    all_names().into_iter().map(|n| workload(n).unwrap()).collect()
+    all_names()
+        .into_iter()
+        .map(|n| workload(n).unwrap())
+        .collect()
 }
 
 /// The reference-scale program of a named workload.
@@ -264,7 +267,10 @@ fn pointer_chase_loop(next: &str, steps: i64) -> Vec<Stmt> {
                     LValue::var("acc"),
                     Expr::add(Expr::var("acc"), Expr::var("p")),
                 ),
-                Stmt::assign(LValue::var("k"), Expr::add(Expr::var("k"), Expr::const_i(1))),
+                Stmt::assign(
+                    LValue::var("k"),
+                    Expr::add(Expr::var("k"), Expr::const_i(1)),
+                ),
             ],
         },
         Stmt::print(Expr::var("acc")),
@@ -323,7 +329,10 @@ fn lbm(scale: u64) -> Program {
                             vec![Stmt::assign(
                                 LValue::store("dst", Expr::var("i")),
                                 Expr::add(
-                                    Expr::mul(Expr::load("src", Expr::var("i")), Expr::const_f(0.85)),
+                                    Expr::mul(
+                                        Expr::load("src", Expr::var("i")),
+                                        Expr::const_f(0.85),
+                                    ),
                                     Expr::mul(
                                         Expr::load("flags", Expr::var("i")),
                                         Expr::const_f(0.15),
@@ -407,22 +416,21 @@ fn bwaves(scale: u64) -> Program {
                 )]),
         )
         .function(
-            Function::new("main").local("i", Ty::I64).local("s", Ty::F64).body({
-                let mut b = vec![
-                    Stmt::Call {
-                        name: "flux".into(),
-                        args: vec![
-                            Expr::addr_of("v"),
-                            Expr::addr_of("u"),
-                            Expr::const_i(n),
-                        ],
-                        ret: None,
-                    },
-                    axpy_loop("w", "v", "u", n, 0.25),
-                ];
-                b.extend(dot_loop("w", "v", n));
-                b
-            }),
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body({
+                    let mut b = vec![
+                        Stmt::Call {
+                            name: "flux".into(),
+                            args: vec![Expr::addr_of("v"), Expr::addr_of("u"), Expr::const_i(n)],
+                            ret: None,
+                        },
+                        axpy_loop("w", "v", "u", n, 0.25),
+                    ];
+                    b.extend(dot_loop("w", "v", n));
+                    b
+                }),
         )
         .build()
 }
@@ -436,20 +444,23 @@ fn cactus(scale: u64) -> Program {
         .global(f64_array("k11", n as usize, 12))
         .function(pointer_kernel("adm_kernel", 2))
         .function(
-            Function::new("main").local("i", Ty::I64).local("s", Ty::F64).body({
-                let mut b = vec![Stmt::Call {
-                    name: "adm_kernel".into(),
-                    args: vec![
-                        Expr::addr_of("k11"),
-                        Expr::addr_of("g11"),
-                        Expr::addr_of("g12"),
-                        Expr::const_i(n),
-                    ],
-                    ret: None,
-                }];
-                b.extend(dot_loop("k11", "g11", n));
-                b
-            }),
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body({
+                    let mut b = vec![Stmt::Call {
+                        name: "adm_kernel".into(),
+                        args: vec![
+                            Expr::addr_of("k11"),
+                            Expr::addr_of("g11"),
+                            Expr::addr_of("g12"),
+                            Expr::const_i(n),
+                        ],
+                        ret: None,
+                    }];
+                    b.extend(dot_loop("k11", "g11", n));
+                    b
+                }),
         )
         .build()
 }
@@ -620,7 +631,10 @@ fn h264ref(scale: u64) -> Program {
                             Expr::const_i(n),
                             vec![Stmt::If {
                                 cond: Cond::new(
-                                    Expr::rem(Expr::load("blocks", Expr::var("i")), Expr::const_i(3)),
+                                    Expr::rem(
+                                        Expr::load("blocks", Expr::var("i")),
+                                        Expr::const_i(3),
+                                    ),
                                     CmpOp::Eq,
                                     Expr::const_i(0),
                                 ),
@@ -738,7 +752,10 @@ fn pointer_chasing_integer(scale: u64) -> Program {
             vec![Stmt::assign(
                 LValue::store("next", Expr::var("i")),
                 Expr::rem(
-                    Expr::add(Expr::mul(Expr::var("i"), Expr::const_i(7)), Expr::const_i(3)),
+                    Expr::add(
+                        Expr::mul(Expr::var("i"), Expr::const_i(7)),
+                        Expr::const_i(3),
+                    ),
                     Expr::const_i(n),
                 ),
             )],

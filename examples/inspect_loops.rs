@@ -9,7 +9,9 @@ use janus::core::Janus;
 use janus::workloads::workload;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "410.bwaves".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "410.bwaves".to_string());
     let w = workload(&name).expect("known workload (e.g. 470.lbm, 410.bwaves)");
     let binary = Compiler::with_options(CompileOptions::gcc_o3())
         .compile(&w.program)
@@ -51,7 +53,11 @@ fn main() {
     let selected = janus.select_loops(&analysis, None);
     let schedule = janus.generate_schedule(&binary, &analysis, &selected);
     println!("\nselected loops: {selected:?}");
-    println!("rewrite schedule: {} rules, {} bytes", schedule.len(), schedule.byte_size());
+    println!(
+        "rewrite schedule: {} rules, {} bytes",
+        schedule.len(),
+        schedule.byte_size()
+    );
     for rule in schedule.rules().iter().take(20) {
         println!("  {rule}");
     }

@@ -13,24 +13,26 @@ fn main() {
         .global_f64("x", n as usize)
         .global_f64("y", n as usize)
         .function(
-            ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
-                ast::Stmt::simple_for(
-                    "i",
-                    ast::Expr::const_i(0),
-                    ast::Expr::const_i(n),
-                    vec![ast::Stmt::assign(
-                        ast::LValue::store("y", ast::Expr::var("i")),
-                        ast::Expr::add(
-                            ast::Expr::mul(
-                                ast::Expr::load("x", ast::Expr::var("i")),
-                                ast::Expr::const_f(3.0),
+            ast::Function::new("main")
+                .local("i", ast::Ty::I64)
+                .body(vec![
+                    ast::Stmt::simple_for(
+                        "i",
+                        ast::Expr::const_i(0),
+                        ast::Expr::const_i(n),
+                        vec![ast::Stmt::assign(
+                            ast::LValue::store("y", ast::Expr::var("i")),
+                            ast::Expr::add(
+                                ast::Expr::mul(
+                                    ast::Expr::load("x", ast::Expr::var("i")),
+                                    ast::Expr::const_f(3.0),
+                                ),
+                                ast::Expr::load("y", ast::Expr::var("i")),
                             ),
-                            ast::Expr::load("y", ast::Expr::var("i")),
-                        ),
-                    )],
-                ),
-                ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(1234))),
-            ]),
+                        )],
+                    ),
+                    ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(1234))),
+                ]),
         )
         .build();
 
@@ -54,7 +56,8 @@ fn main() {
     println!("janus cycles:        {}", report.parallel.cycles);
     println!("speedup:             {:.2}x", report.speedup());
     println!("outputs match:       {}", report.outputs_match);
-    println!("schedule size:       {} bytes ({:.2}% of binary)",
+    println!(
+        "schedule size:       {} bytes ({:.2}% of binary)",
         report.schedule_size,
         report.schedule_size_fraction() * 100.0
     );

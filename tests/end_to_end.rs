@@ -3,7 +3,7 @@
 //! execution, and schedule/serialisation round trips.
 
 use janus::compile::{CompileOptions, Compiler, OptLevel};
-use janus::core::{Janus, JanusConfig, OptimisationMode};
+use janus::core::{Janus, JanusConfig};
 use janus::ir::JBinary;
 use janus::schedule::RewriteSchedule;
 use janus::vm::{Process, Vm};

@@ -1,0 +1,58 @@
+//! Integration test for the facade crate: the quickstart flow from the
+//! `janus` crate docs, exercised as a real test so the single-dependency
+//! entry point (`janus::core::Janus` + `janus::workloads`) can never drift
+//! from the documented usage.
+
+use janus::compile::Compiler;
+use janus::core::{Janus, JanusConfig, OptimisationMode};
+use janus::workloads::workload;
+
+#[test]
+fn facade_parallelises_a_doall_workload() {
+    // Mirrors the src/lib.rs quickstart doctest: build a DOALL workload at
+    // training scale and run the full pipeline through the facade re-exports.
+    let w = workload("470.lbm").expect("workload exists");
+    let binary = Compiler::new()
+        .compile(&w.train_program)
+        .expect("workload compiles");
+    let janus = Janus::with_config(JanusConfig {
+        threads: 4,
+        ..JanusConfig::default()
+    });
+    let report = janus
+        .run(&binary, &[])
+        .expect("pipeline runs to completion");
+    assert!(report.outputs_match, "parallel outputs must match native");
+    assert!(
+        report.speedup() > 1.0,
+        "a DOALL workload must speed up, got {:.2}x",
+        report.speedup()
+    );
+}
+
+#[test]
+fn facade_modes_order_sensibly_on_a_doall_workload() {
+    // The four optimisation levels of Figure 7, via the facade: instrumentation
+    // alone must not speed anything up, and full Janus must beat it.
+    let w = workload("470.lbm").expect("workload exists");
+    let binary = Compiler::new()
+        .compile(&w.train_program)
+        .expect("workload compiles");
+    let run = |mode| {
+        Janus::with_config(JanusConfig {
+            threads: 4,
+            mode,
+            ..JanusConfig::default()
+        })
+        .run(&binary, &[])
+        .expect("pipeline runs")
+        .speedup()
+    };
+    let dbm_only = run(OptimisationMode::DynamoRioOnly);
+    let full = run(OptimisationMode::Full);
+    assert!(
+        dbm_only <= 1.05,
+        "DBM alone must not speed up ({dbm_only:.2}x)"
+    );
+    assert!(full > dbm_only, "full Janus must beat bare DBM");
+}

@@ -1,0 +1,224 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset of Criterion's API that `janus-bench` uses:
+//! `Criterion::bench_function`, benchmark groups with `sample_size`,
+//! `b.iter(...)`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is wall-clock via `std::time::Instant`
+//! with median-of-samples reporting; there is no HTML report, outlier
+//! analysis, or statistical regression testing.
+//!
+//! CLI compatibility: `cargo bench -- --test` (and `--quick`) runs every
+//! benchmark body exactly once, which is what the CI smoke job uses;
+//! a positional `<filter>` substring restricts which benchmarks run.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting a benchmark
+/// body. Mirrors `criterion::black_box`.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How benchmarks execute: timed sampling or a single smoke-test pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_once = args.iter().any(|a| a == "--test" || a == "--quick");
+        // Cargo passes its own flags (e.g. `--bench`); the first bare
+        // argument is the benchmark name filter.
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Self {
+            mode: if test_once {
+                Mode::TestOnce
+            } else {
+                Mode::Measure
+            },
+            filter,
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            self.mode,
+            self.filter.as_deref(),
+            self.default_sample_size,
+            &id,
+            f,
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.parent.default_sample_size);
+        run_one(
+            self.parent.mode,
+            self.parent.filter.as_deref(),
+            samples,
+            &full,
+            f,
+        );
+        self
+    }
+
+    /// Finishes the group. (The real Criterion emits summary reports here.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(mode: Mode, filter: Option<&str>, samples: usize, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    match mode {
+        Mode::TestOnce => {
+            let mut b = Bencher {
+                mode,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {id} ... ok");
+        }
+        Mode::Measure => {
+            let mut times = Vec::with_capacity(samples);
+            for _ in 0..samples.max(1) {
+                let mut b = Bencher {
+                    mode,
+                    iters: 1,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                times.push(b.elapsed);
+            }
+            times.sort_unstable();
+            let median = times[times.len() / 2];
+            let (lo, hi) = (times[0], times[times.len() - 1]);
+            println!(
+                "{id:<48} time: [{} {} {}]",
+                fmt_duration(lo),
+                fmt_duration(median),
+                fmt_duration(hi)
+            );
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Times one benchmark body; passed to the closure given to
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.mode == Mode::TestOnce {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function from a list of target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

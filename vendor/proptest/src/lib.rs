@@ -1,0 +1,643 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! reimplements the subset of proptest's API used by the Janus test
+//! suites: `Strategy` + `prop_map`, `Just`, ranges, tuples, `any`,
+//! `prop_oneof!`, `collection::vec`, `option::of`, `array::uniform*`,
+//! simple `[class]{m,n}` string patterns, `sample::Index`, and the
+//! `proptest!` / `prop_assert*` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * Generation is **deterministic**: each test's RNG is seeded from the
+//!   test name, so failures reproduce exactly across runs and machines.
+//! * There is **no shrinking** — a failing case panics with the usual
+//!   assertion message; rerunning reproduces it.
+//! * String strategies accept only `[class]{m,n}` character-class
+//!   patterns (the only form the suites use), not full regexes.
+//!
+//! The number of cases per test defaults to the `ProptestConfig` the
+//! test declares and can be lowered globally with the `PROPTEST_CASES`
+//! environment variable (used by CI smoke jobs).
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG driving generation.
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (capped by `PROPTEST_CASES`).
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+
+        /// The effective case count: the declared count, capped by the
+        /// `PROPTEST_CASES` environment variable when set.
+        #[must_use]
+        pub fn effective_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+            {
+                Some(limit) => self.cases.min(limit),
+                None => self.cases,
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self::with_cases(256)
+        }
+    }
+
+    /// Deterministic xorshift* RNG seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an RNG whose stream is a pure function of `name`.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name, mixed with a golden-ratio constant
+            // so short names still produce well-distributed streams.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            Self {
+                state: h ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            // xorshift64* — tiny, fast, and good enough for test generation.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Modulo bias is irrelevant at test-generation quality.
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A boxed, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed strategies; built by `prop_oneof!`.
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> std::fmt::Debug for OneOf<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("OneOf")
+                .field("options", &self.options.len())
+                .finish()
+        }
+    }
+
+    impl<T> OneOf<T> {
+        /// A strategy choosing uniformly among `options` per generated value.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + off) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (u128::from(rng.next_u64()) % span) as i128;
+                    (lo as i128 + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// `&'static str` character-class patterns: `"[a-z]{1,8}"` generates
+    /// strings of 1..=8 chars drawn from `a..=z`. Only the `[class]{m,n}`
+    /// shape (with optional `{m,n}`) is supported.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, min, max) = parse_class_pattern(self).unwrap_or_else(|| {
+                panic!("unsupported string pattern {self:?} (shim supports `[class]{{m,n}}` only)")
+            });
+            let len = min + rng.below((max - min + 1) as u64) as usize;
+            (0..len)
+                .map(|_| class[rng.below(class.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Parses `[class]` or `[class]{m,n}` into (alphabet, min_len, max_len).
+    fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let close = rest.find(']')?;
+        let class_src: Vec<char> = rest[..close].chars().collect();
+        if class_src.is_empty() {
+            return None;
+        }
+        let mut class = Vec::new();
+        let mut i = 0;
+        while i < class_src.len() {
+            if i + 2 < class_src.len() && class_src[i + 1] == '-' {
+                let (lo, hi) = (class_src[i], class_src[i + 2]);
+                if lo > hi {
+                    return None;
+                }
+                class.extend(lo..=hi);
+                i += 3;
+            } else {
+                class.push(class_src[i]);
+                i += 1;
+            }
+        }
+        let tail = &rest[close + 1..];
+        if tail.is_empty() {
+            return Some((class, 1, 1));
+        }
+        let counts = tail.strip_prefix('{')?.strip_suffix('}')?;
+        let (m, n) = counts.split_once(',')?;
+        let (min, max) = (m.trim().parse().ok()?, n.trim().parse().ok()?);
+        if min > max {
+            return None;
+        }
+        Some((class, min, max))
+    }
+}
+
+pub mod arbitrary {
+    //! The `any::<T>()` entry point for canonical strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, usable via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Generates one canonical value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    /// The canonical strategy for `T`: uniform over the whole domain.
+    #[derive(Debug, Clone, Default)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (uniform over the full domain).
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps failure output readable.
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> f64 {
+            // Uniform in [0, 1); callers map outward as needed.
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for a generated collection. Mirrors
+    /// proptest's `SizeRange`: built from a `usize` (exact length), a
+    /// half-open `Range`, or an inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> Self {
+            Self { min: len, max: len }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty length range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty length range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// Generates vectors whose length lies in `len`, e.g.
+    /// `proptest::collection::vec(elem, 0..64)` or `vec(elem, 16)`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.max - self.len.min + 1) as u64;
+            let n = self.len.min + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`; `None` about a quarter of the time.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Wraps a strategy to also generate `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `[S::Value; N]` drawing every element from `S`.
+    #[derive(Debug, Clone)]
+    pub struct UniformArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),*) => {$(
+            /// Generates arrays of the indicated arity from one element strategy.
+            pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+                UniformArrayStrategy { element }
+            }
+        )*};
+    }
+
+    uniform_fns!(
+        uniform1 => 1, uniform2 => 2, uniform3 => 3, uniform4 => 4,
+        uniform5 => 5, uniform6 => 6, uniform7 => 7, uniform8 => 8,
+        uniform16 => 16, uniform32 => 32
+    );
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A size-independent index into a collection: generated once, projected
+    /// onto any length with [`Index::index`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Projects this index onto a collection of `len` items (`len > 0`).
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`, exposing submodules.
+    pub mod prop {
+        pub use crate::{array, collection, option, sample};
+    }
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Property assertion; panics with the failing expression on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_eq!($left, $right, $($fmt)*) };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)*) => { assert_ne!($left, $right, $($fmt)*) };
+}
+
+/// Declares deterministic property tests.
+///
+/// Each test body runs once per generated case; the RNG is seeded from the
+/// test's name so the whole stream is reproducible. On failure the panic
+/// message names the case number.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for case in 0..config.effective_cases() {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                // Cases are deterministic, so reporting the ordinal is enough
+                // to reproduce: rerun and the same case fails again.
+                let guard = $crate::CaseOnPanic { name: stringify!($name), case };
+                $body
+                std::mem::forget(guard);
+            }
+        }
+    )*};
+}
+
+/// Prints the failing case ordinal if a property test body panics.
+#[doc(hidden)]
+#[derive(Debug)]
+pub struct CaseOnPanic {
+    /// Test name.
+    pub name: &'static str,
+    /// Zero-based case ordinal.
+    pub case: u32,
+}
+
+impl Drop for CaseOnPanic {
+    fn drop(&mut self) {
+        eprintln!(
+            "proptest shim: {} failed at deterministic case {} (rerun reproduces it)",
+            self.name, self.case
+        );
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for the `serde` facade crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides just enough of serde's surface for the workspace to compile:
+//! the two marker traits and the derive macros. No wire format is
+//! implemented — nothing in the workspace serialises through serde yet
+//! (the profile crate derives the traits so downstream tooling *can*
+//! serialise profiles once the real dependency is swapped back in).
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,54 @@
+//! Offline shim for the `serde_derive` proc-macro crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface the Janus crates actually use. The real
+//! derives generate (de)serialisation visitors; nothing in this workspace
+//! consumes `Serialize`/`Deserialize` bounds yet, so the shim derives
+//! emit marker-trait impls only. Swap in the real `serde`/`serde_derive`
+//! by deleting `vendor/` entries from `[workspace.dependencies]` once the
+//! build environment can reach a registry.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts `(name, has_generics)` for the type a derive is attached to.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // Generic types would need the parameter list replayed in
+                    // the impl; the profile crate only derives on plain types.
+                    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                        return None;
+                    }
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// No-op stand-in for `#[derive(Serialize)]`: implements the marker trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`: implements the marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
