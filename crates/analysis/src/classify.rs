@@ -20,6 +20,11 @@ pub enum LoopCategory {
     DynamicDoall,
     /// Type D: profiling observed an actual cross-iteration dependence.
     DynamicDependence,
+    /// A *may*-dependent loop (data-dependent subscripts, sparse scatters):
+    /// no dependence was proved, but independence cannot be proved or
+    /// bounds-checked either. Amenable to Block-STM-style iteration-level
+    /// speculation (`janus-spec`); serialised by the seed pipeline.
+    Speculative,
     /// Not a candidate for parallelisation at all.
     Incompatible,
 }
@@ -33,14 +38,22 @@ impl LoopCategory {
             LoopCategory::StaticDependence => "Static Dependence",
             LoopCategory::DynamicDoall => "Dynamic DOALL",
             LoopCategory::DynamicDependence => "Dynamic Dependence",
+            LoopCategory::Speculative => "Speculative",
             LoopCategory::Incompatible => "Incompatible",
         }
     }
 
-    /// Returns `true` for the categories Janus can parallelise (A and C).
+    /// Returns `true` for the categories Janus can parallelise without
+    /// iteration-level speculation (A and C).
     #[must_use]
     pub fn is_parallelisable(self) -> bool {
         matches!(self, LoopCategory::StaticDoall | LoopCategory::DynamicDoall)
+    }
+
+    /// Returns `true` for loops the speculative DOACROSS engine can attempt.
+    #[must_use]
+    pub fn is_speculation_candidate(self) -> bool {
+        self == LoopCategory::Speculative
     }
 }
 
@@ -195,6 +208,12 @@ pub fn classify_loop(
         || !deps.carried_stack_slots.is_empty()
     {
         LoopCategory::StaticDependence
+    } else if deps.has_unknown_access && external_call_addrs.is_empty() {
+        // No proved dependence, but an access that cannot be expressed in
+        // terms of the induction variable (e.g. `hist[idx[i]]`): a *may*
+        // dependence that bounds checks cannot discharge. Iteration-level
+        // speculation can run it; everything else must serialise it.
+        LoopCategory::Speculative
     } else if !deps.bounds_checks.is_empty()
         || !external_call_addrs.is_empty()
         || deps.has_unknown_access
@@ -455,6 +474,37 @@ mod tests {
             .expect("loop with external call");
         assert_eq!(l.category, LoopCategory::DynamicDoall, "{l:#?}");
         assert!(l.needs_speculation());
+    }
+
+    #[test]
+    fn data_dependent_subscript_is_speculative() {
+        // ints[ints[i]] += 1: the store address depends on loaded data, so
+        // independence can neither be proved nor bounds-checked — the loop is
+        // a speculation candidate.
+        let p = kernel_program(
+            vec![ast::Stmt::simple_for(
+                "i",
+                ast::Expr::const_i(0),
+                ast::Expr::const_i(256),
+                vec![ast::Stmt::assign(
+                    ast::LValue::store("ints", ast::Expr::load("ints", ast::Expr::var("i"))),
+                    ast::Expr::add(
+                        ast::Expr::load("ints", ast::Expr::load("ints", ast::Expr::var("i"))),
+                        ast::Expr::const_i(1),
+                    ),
+                )],
+            )],
+            &[("i", ast::Ty::I64)],
+        );
+        let analysis = analyze_program(&p);
+        let l = analysis
+            .loops
+            .iter()
+            .find(|l| l.has_unknown_access)
+            .expect("loop with a data-dependent access");
+        assert_eq!(l.category, LoopCategory::Speculative, "{l:#?}");
+        assert!(l.category.is_speculation_candidate());
+        assert!(!l.category.is_parallelisable());
     }
 
     #[test]

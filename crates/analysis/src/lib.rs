@@ -98,12 +98,13 @@ impl BinaryAnalysis {
 
     /// Counts loops per category (used by the Figure 6 reproduction).
     #[must_use]
-    pub fn category_histogram(&self) -> [(LoopCategory, usize); 5] {
+    pub fn category_histogram(&self) -> [(LoopCategory, usize); 6] {
         let mut counts = [
             (LoopCategory::StaticDoall, 0),
             (LoopCategory::StaticDependence, 0),
             (LoopCategory::DynamicDoall, 0),
             (LoopCategory::DynamicDependence, 0),
+            (LoopCategory::Speculative, 0),
             (LoopCategory::Incompatible, 0),
         ];
         for l in &self.loops {

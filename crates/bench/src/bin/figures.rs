@@ -5,7 +5,7 @@
 
 use janus_bench as bench;
 
-const FIGURES: [(&str, fn()); 9] = [
+const FIGURES: [(&str, fn()); 10] = [
     ("fig6", fig6),
     ("fig7", fig7),
     ("fig8", fig8),
@@ -15,6 +15,7 @@ const FIGURES: [(&str, fn()); 9] = [
     ("fig12", fig12),
     ("table1", table1),
     ("table2", table2),
+    ("table3", table3),
 ];
 
 fn main() {
@@ -41,17 +42,17 @@ fn main() {
 fn fig6() {
     println!("\n=== Figure 6: loop classification (static % | execution-time %) ===");
     println!(
-        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7} {:>7}",
-        "benchmark", "A", "B", "C", "D", "inc", "A", "B", "C", "D", "inc"
+        "{:<16} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}   {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "A", "B", "C", "D", "spec", "inc", "A", "B", "C", "D", "spec", "inc"
     );
     for row in bench::fig6_loop_classification() {
         let s = row.static_fraction;
         let t = row.time_fraction;
         println!(
-            "{:<16} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            "{:<16} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%   {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
             row.name,
-            s[0] * 100.0, s[1] * 100.0, s[2] * 100.0, s[3] * 100.0, s[4] * 100.0,
-            t[0] * 100.0, t[1] * 100.0, t[2] * 100.0, t[3] * 100.0, t[4] * 100.0
+            s[0] * 100.0, s[1] * 100.0, s[2] * 100.0, s[3] * 100.0, s[4] * 100.0, s[5] * 100.0,
+            t[0] * 100.0, t[1] * 100.0, t[2] * 100.0, t[3] * 100.0, t[4] * 100.0, t[5] * 100.0
         );
     }
 }
@@ -172,6 +173,36 @@ fn table1() {
     println!("\n=== Table I: mean array-bounds checks per loop requiring them ===");
     for (name, mean) in bench::table1_bounds_checks() {
         println!("{name:<16} {mean:>6.1}");
+    }
+}
+
+fn table3() {
+    println!("\n=== Table III: speculative DOACROSS execution (8 threads) ===");
+    println!(
+        "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9} {:>6}",
+        "workload",
+        "iters",
+        "execs",
+        "aborts",
+        "retries",
+        "abort%",
+        "stm.abrts",
+        "speedup",
+        "match"
+    );
+    for r in bench::table3_speculation(8) {
+        println!(
+            "{:<22} {:>10} {:>10} {:>8} {:>8} {:>7.1}% {:>10} {:>9.2} {:>6}",
+            r.name,
+            r.iterations,
+            r.executions,
+            r.aborts,
+            r.retries,
+            r.abort_rate * 100.0,
+            r.stm_aborts,
+            r.speedup,
+            if r.outputs_match { "yes" } else { "NO" },
+        );
     }
 }
 

@@ -13,7 +13,9 @@
 //!    available.
 //! 4. **Rewrite-schedule generation** ([`Janus::generate_schedule`]): the selected
 //!    loops are encoded as `LOOP_INIT` / `LOOP_FINISH` / `LOOP_UPDATE_BOUND` /
-//!    `MEM_*` / `TX_*` rules.
+//!    `MEM_*` / `TX_*` rules; may-dependent loops additionally carry a
+//!    `SPECULATE` rule that routes them to the Block-STM-style
+//!    iteration-level speculation engine (`janus-spec`).
 //! 5. **Execution** under the dynamic binary modifier ([`janus_dbm::Dbm`]),
 //!    compared against native execution of the same process.
 //!
@@ -89,6 +91,13 @@ pub struct JanusConfig {
     /// Loops with profile coverage below this fraction are not parallelised
     /// (only applies when profiling is enabled).
     pub coverage_threshold: f64,
+    /// Attempt may-dependent (`Speculative`) loops under the Block-STM-style
+    /// iteration-level speculation engine (`janus-spec`). Only takes effect
+    /// in modes with runtime checks enabled; when `false`, loops with
+    /// data-dependent accesses are never selected and run sequentially
+    /// (conservative even where the seed pipeline would have chunked an
+    /// unknown-access loop without verifying its independence).
+    pub speculation: bool,
     /// Overrides for the DBM cost model.
     pub dbm: DbmConfig,
 }
@@ -99,6 +108,7 @@ impl Default for JanusConfig {
             threads: 8,
             mode: OptimisationMode::Full,
             coverage_threshold: 0.02,
+            speculation: true,
             dbm: DbmConfig::default(),
         }
     }
@@ -153,6 +163,9 @@ pub struct JanusReport {
     pub parallel: DbmRunResult,
     /// Loop ids that were selected for parallelisation.
     pub selected_loops: Vec<usize>,
+    /// The subset of `selected_loops` scheduled for iteration-level
+    /// speculation (`SPECULATE` rules).
+    pub speculative_loops: Vec<usize>,
     /// Size of the generated rewrite schedule in bytes.
     pub schedule_size: u64,
     /// Size of the executable in bytes (for the Figure 10 ratio).
@@ -175,6 +188,24 @@ impl JanusReport {
     #[must_use]
     pub fn schedule_size_fraction(&self) -> f64 {
         self.schedule_size as f64 / self.binary_size.max(1) as f64
+    }
+
+    /// Speculative aborts observed by the run (0 when nothing speculated).
+    #[must_use]
+    pub fn spec_aborts(&self) -> u64 {
+        self.parallel.stats.spec_aborts
+    }
+
+    /// Per-iteration retries of the speculative engine.
+    #[must_use]
+    pub fn spec_retries(&self) -> u64 {
+        self.parallel.stats.spec_retries()
+    }
+
+    /// Speculative aborts per completed incarnation.
+    #[must_use]
+    pub fn spec_abort_rate(&self) -> f64 {
+        self.parallel.stats.spec_abort_rate()
     }
 }
 
@@ -280,8 +311,13 @@ impl Janus {
                     if p.coverage(l.id) < self.config.coverage_threshold {
                         return false;
                     }
-                    if p.loop_profile(l.id)
-                        .is_some_and(|lp| lp.observed_dependence)
+                    // An observed dependence makes a loop Type D and rules
+                    // out DOALL execution — but the speculative engine
+                    // tolerates (and rolls back) real dependences, so it
+                    // only loses candidates to the coverage filter.
+                    if want != LoopCategory::Speculative
+                        && p.loop_profile(l.id)
+                            .is_some_and(|lp| lp.observed_dependence)
                     {
                         return false; // actually a Type D loop
                     }
@@ -315,6 +351,14 @@ impl Janus {
         if allow_dynamic {
             for l in &by_depth {
                 if eligible(l, LoopCategory::DynamicDoall) && !conflicts(l, &selected) {
+                    selected.push(l.id);
+                }
+            }
+        }
+        // Pass 3: may-dependent loops under iteration-level speculation.
+        if allow_dynamic && self.config.speculation {
+            for l in &by_depth {
+                if eligible(l, LoopCategory::Speculative) && !conflicts(l, &selected) {
                     selected.push(l.id);
                 }
             }
@@ -389,6 +433,7 @@ impl Janus {
         let dbm_config = DbmConfig {
             threads: self.config.threads,
             enable_runtime_checks: self.config.mode.uses_runtime_checks(),
+            enable_speculation: self.config.speculation && self.config.dbm.enable_speculation,
             ..self.config.dbm
         };
         let mut dbm = Dbm::new(process, &schedule, dbm_config);
@@ -402,10 +447,16 @@ impl Janus {
                 .zip(parallel.output_floats.iter())
                 .all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(1.0));
 
+        let speculative_loops: Vec<usize> = selected
+            .iter()
+            .copied()
+            .filter(|&id| analysis.loops[id].category == LoopCategory::Speculative)
+            .collect();
         Ok(JanusReport {
             native,
             parallel,
             selected_loops: selected,
+            speculative_loops,
             schedule_size: schedule.byte_size(),
             binary_size: binary.file_size(),
             outputs_match,
@@ -501,6 +552,12 @@ fn emit_loop_rules(schedule: &mut RewriteSchedule, l: &LoopInfo) {
 
     // LOOP_UPDATE_BOUND at the controlling comparison.
     schedule.push(RewriteRule::new(bound.cmp_addr, RuleId::LoopUpdateBound).with_data(0, id));
+
+    // May-dependent loops carry a SPECULATE rule: the runtime drives the
+    // iteration-level speculation engine instead of chunked execution.
+    if l.category == LoopCategory::Speculative {
+        schedule.push(RewriteRule::new(l.header_addr, RuleId::Speculate).with_data(0, id));
+    }
 
     // Reductions are privatised per thread and recombined at LOOP_FINISH.
     for r in &l.reductions {
@@ -767,6 +824,106 @@ mod tests {
             "profile guidance should not hurt: {:.2} vs {:.2}",
             with_profile.speedup(),
             without_profile.speedup()
+        );
+    }
+
+    fn scatter_program(n: i64, bins: i64) -> ast::Program {
+        // hist[idx[i]] += w[i]: a may-dependent scatter the seed pipeline
+        // serialises; `idx` is filled with mostly-distinct bin indices.
+        ast::Program::builder("scatter")
+            .global(ast::GlobalArray {
+                name: "idx".into(),
+                ty: ast::Ty::I64,
+                len: n as usize,
+                init: ast::Init::Pattern {
+                    mul: 7,
+                    add: 3,
+                    modulus: bins,
+                },
+            })
+            .global_f64("w", n as usize)
+            .global_f64("hist", bins as usize)
+            .function(
+                ast::Function::new("main")
+                    .local("i", ast::Ty::I64)
+                    .local("s", ast::Ty::F64)
+                    .body(vec![
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(n),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::store(
+                                    "hist",
+                                    ast::Expr::load("idx", ast::Expr::var("i")),
+                                ),
+                                ast::Expr::add(
+                                    ast::Expr::load(
+                                        "hist",
+                                        ast::Expr::load("idx", ast::Expr::var("i")),
+                                    ),
+                                    ast::Expr::load("w", ast::Expr::var("i")),
+                                ),
+                            )],
+                        ),
+                        ast::Stmt::assign(ast::LValue::var("s"), ast::Expr::const_f(0.0)),
+                        ast::Stmt::simple_for(
+                            "i",
+                            ast::Expr::const_i(0),
+                            ast::Expr::const_i(bins),
+                            vec![ast::Stmt::assign(
+                                ast::LValue::var("s"),
+                                ast::Expr::add(
+                                    ast::Expr::var("s"),
+                                    ast::Expr::load("hist", ast::Expr::var("i")),
+                                ),
+                            )],
+                        ),
+                        ast::Stmt::print(ast::Expr::var("s")),
+                    ]),
+            )
+            .build()
+    }
+
+    #[test]
+    fn may_dependent_scatter_is_speculated_and_matches_native() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&scatter_program(4096, 2048))
+            .unwrap();
+        let with_spec = Janus::new().run(&bin, &[]).unwrap();
+        assert!(
+            !with_spec.speculative_loops.is_empty(),
+            "the scatter loop must be selected for speculation: {:?}",
+            with_spec.selected_loops
+        );
+        assert!(with_spec.outputs_match, "speculation must preserve output");
+        assert!(
+            with_spec.parallel.stats.spec_invocations >= 1,
+            "{:?}",
+            with_spec.parallel.stats
+        );
+        assert!(with_spec.parallel.stats.spec_iterations >= 4096);
+        assert!(
+            with_spec.speedup() > 1.0,
+            "a mostly-independent scatter should speed up, got {:.2}",
+            with_spec.speedup()
+        );
+
+        // The knob turns the engine off and the loop falls back to serial.
+        let without = Janus::with_config(JanusConfig {
+            speculation: false,
+            ..JanusConfig::default()
+        })
+        .run(&bin, &[])
+        .unwrap();
+        assert!(without.outputs_match);
+        assert!(without.speculative_loops.is_empty());
+        assert_eq!(without.parallel.stats.spec_invocations, 0);
+        assert!(
+            with_spec.speedup() > without.speedup(),
+            "speculation should beat the serial fallback: {:.2} vs {:.2}",
+            with_spec.speedup(),
+            without.speedup()
         );
     }
 

@@ -53,6 +53,10 @@ pub struct DbmConfig {
     /// shared-library calls under the STM. When `false`, only rules for
     /// statically proven loops are honoured.
     pub enable_runtime_checks: bool,
+    /// Honour `SPECULATE` rules: run may-dependent loops under the
+    /// Block-STM-style iteration-level speculation engine (`janus-spec`).
+    /// When `false`, speculative loops fall back to sequential execution.
+    pub enable_speculation: bool,
     /// Cycles charged the first time a basic block is copied into the code
     /// cache (decode + modify + encode).
     pub translation_cost: u64,
@@ -78,6 +82,17 @@ pub struct DbmConfig {
     pub stm_write_cost: u64,
     /// Cycles per buffered entry validated/committed at transaction end.
     pub stm_commit_cost: u64,
+    /// Extra cycles per tracked read in a speculative (DOACROSS) iteration.
+    pub spec_read_cost: u64,
+    /// Extra cycles per buffered write in a speculative iteration.
+    pub spec_write_cost: u64,
+    /// Cycles per read-set entry re-resolved when an iteration validates.
+    pub spec_validate_cost: u64,
+    /// Cycles charged per speculative abort (estimate conversion, re-dispatch).
+    pub spec_abort_cost: u64,
+    /// Task budget multiplier before a speculative invocation gives up and
+    /// re-runs sequentially (livelock guard for densely dependent loops).
+    pub spec_max_task_factor: u32,
     /// Minimum iterations per thread below which a loop invocation is run
     /// sequentially (parallelisation would not be profitable).
     pub min_iterations_per_thread: u64,
@@ -90,6 +105,7 @@ impl Default for DbmConfig {
         DbmConfig {
             threads: 8,
             enable_runtime_checks: true,
+            enable_speculation: true,
             translation_cost: 350,
             dispatch_cost: 3,
             link_threshold: 16,
@@ -100,6 +116,11 @@ impl Default for DbmConfig {
             stm_read_cost: 8,
             stm_write_cost: 14,
             stm_commit_cost: 16,
+            spec_read_cost: 6,
+            spec_write_cost: 10,
+            spec_validate_cost: 4,
+            spec_abort_cost: 60,
+            spec_max_task_factor: 64,
             min_iterations_per_thread: 1,
             cycle_limit: 200_000_000_000,
         }
@@ -205,6 +226,45 @@ pub struct DbmStats {
     pub stm_reads: u64,
     /// Speculative writes buffered by the STM.
     pub stm_writes: u64,
+    /// Loop invocations executed under iteration-level speculation.
+    pub spec_invocations: u64,
+    /// Iterations covered by speculative invocations.
+    pub spec_iterations: u64,
+    /// Iteration incarnations executed to completion (the excess over
+    /// `spec_iterations` is conflict-driven re-execution).
+    pub spec_executions: u64,
+    /// Speculative aborts (failed validations, estimate stalls, retried
+    /// faults).
+    pub spec_aborts: u64,
+    /// Validation tasks performed by the speculative engine.
+    pub spec_validations: u64,
+    /// Speculative invocations abandoned (task budget) and re-run
+    /// sequentially.
+    pub spec_fallbacks: u64,
+    /// Word reads tracked by the speculation engine's multi-version views.
+    pub spec_reads: u64,
+    /// Word writes buffered by the speculation engine's multi-version views.
+    pub spec_writes: u64,
+}
+
+impl DbmStats {
+    /// Per-iteration retries of the speculative engine: completed
+    /// re-executions beyond each iteration's first incarnation.
+    #[must_use]
+    pub fn spec_retries(&self) -> u64 {
+        self.spec_executions.saturating_sub(self.spec_iterations)
+    }
+
+    /// Speculative aborts per completed execution (0 when nothing ran
+    /// speculatively).
+    #[must_use]
+    pub fn spec_abort_rate(&self) -> f64 {
+        if self.spec_executions == 0 {
+            0.0
+        } else {
+            self.spec_aborts as f64 / self.spec_executions as f64
+        }
+    }
 }
 
 /// Errors raised by the dynamic binary modifier.

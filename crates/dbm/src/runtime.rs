@@ -137,6 +137,9 @@ struct LoopRt {
     reductions: Vec<(VarSpec, i64 /*op*/, bool /*float*/)>,
     bounds_pairs: Vec<(SideSpec, SideSpec)>,
     tx_calls: HashSet<u64>,
+    /// `SPECULATE`: run invocations of this loop under the iteration-level
+    /// speculation engine instead of chunked DOALL execution.
+    speculative: bool,
 }
 
 /// The result of running a binary under the dynamic binary modifier.
@@ -217,6 +220,9 @@ impl Dbm {
                 }
                 RuleId::TxStart => {
                     entry.tx_calls.insert(rule.addr);
+                }
+                RuleId::Speculate => {
+                    entry.speculative = true;
                 }
                 _ => {}
             }
@@ -490,6 +496,16 @@ impl Dbm {
             return Ok(false);
         }
 
+        // SPECULATE: may-dependent loops run under the iteration-level
+        // speculation engine; bounds checks are subsumed by validation.
+        if lr.speculative {
+            if !(self.config.enable_runtime_checks && self.config.enable_speculation) {
+                self.stats.sequential_fallbacks += 1;
+                return Ok(false);
+            }
+            return self.try_speculative_loop(&lr, induction, start, iterations);
+        }
+
         // Runtime array-bounds checks (MEM_BOUNDS_CHECK).
         if !lr.bounds_pairs.is_empty() {
             if !self.config.enable_runtime_checks {
@@ -626,6 +642,213 @@ impl Dbm {
         }
         self.stats.breakdown.parallel += max_thread_cycles;
         self.main.pc = exit_pc.expect("threads stopped at a loop exit");
+        Ok(true)
+    }
+
+    /// Runs one invocation of a may-dependent loop under the Block-STM-style
+    /// speculation engine: every iteration executes optimistically against a
+    /// multi-version view of guest memory, validates lazily, and only the
+    /// dependents of a conflicting iteration are re-executed.
+    ///
+    /// Returns `true` when the invocation succeeded (main's context has been
+    /// merged and `main.pc` points after the loop), `false` when the engine
+    /// gave up and the loop must run sequentially.
+    fn try_speculative_loop(
+        &mut self,
+        lr: &LoopRt,
+        induction: VarSpec,
+        start: i64,
+        iterations: i64,
+    ) -> Result<bool> {
+        // Per-iteration contexts restart from the loop-entry register state,
+        // so the induction variable and any reduction accumulators must live
+        // in registers (the rule generator guarantees this for selected
+        // loops; fall back rather than fault if a schedule says otherwise).
+        let VarSpec::Reg(ind_raw) = induction else {
+            self.stats.sequential_fallbacks += 1;
+            return Ok(false);
+        };
+        let ind_reg = Reg::from_raw(ind_raw).ok_or_else(|| DbmError::BadRule {
+            reason: format!("bad induction register {ind_raw} in SPECULATE loop"),
+        })?;
+        if lr
+            .reductions
+            .iter()
+            .any(|(var, _, _)| !matches!(var, VarSpec::Reg(_)))
+        {
+            self.stats.sequential_fallbacks += 1;
+            return Ok(false);
+        }
+
+        let template = {
+            let mut cpu = self.main.clone();
+            cpu.cycles = 0;
+            cpu.retired = 0;
+            cpu
+        };
+        let spec_config = janus_spec::SpecConfig {
+            lanes: self.config.threads.max(1),
+            read_overhead: self.config.spec_read_cost,
+            write_overhead: self.config.spec_write_cost,
+            validate_base_cost: self.config.spec_validate_cost * 3,
+            validate_read_cost: self.config.spec_validate_cost,
+            abort_cost: self.config.spec_abort_cost,
+            commit_cost_per_write: self.config.spec_write_cost / 2,
+            max_task_factor: self.config.spec_max_task_factor,
+        };
+
+        // Split the borrows the iteration body needs off `self` so the guest
+        // memory can be temporarily moved into the engine.
+        let process = &self.process;
+        let cycle_limit = self.config.cycle_limit;
+        let reductions = &lr.reductions;
+        let finish_addrs = &lr.finish_addrs;
+        let header = lr.header;
+        let bound_cmp_addr = lr.bound_cmp_addr;
+        let continue_cond = lr.continue_cond;
+        let step = lr.step;
+        let mut base = std::mem::take(&mut self.mem);
+
+        let outcome = janus_spec::run_speculative(
+            &spec_config,
+            &mut base,
+            iterations as usize,
+            |iter, view| -> std::result::Result<janus_spec::IterationRun<(Cpu, u64)>, DbmError> {
+                let mut cpu = template.clone();
+                let value = start + iter as i64 * step;
+                cpu.write_gpr(ind_reg, value);
+                // Privatised reduction accumulators: iteration 0 keeps the
+                // incoming value, the others start from the identity.
+                if iter > 0 {
+                    for (var, _, is_float) in reductions {
+                        let zero = if *is_float { 0f64.to_bits() as i64 } else { 0 };
+                        if let VarSpec::Reg(r) = var {
+                            let reg = Reg::from_raw(*r).expect("valid register in rule");
+                            if reg.is_gpr() {
+                                cpu.write_gpr(reg, zero);
+                            } else {
+                                cpu.write_f64(reg, f64::from_bits(zero as u64));
+                            }
+                        }
+                    }
+                }
+                // LOOP_UPDATE_BOUND specialised to exactly one iteration.
+                let iter_end = value + step;
+                let bound = match continue_cond {
+                    3 | 5 => iter_end - step, // Le / Ge
+                    _ => iter_end,
+                };
+                cpu.pc = header;
+                loop {
+                    if cpu.cycles > cycle_limit {
+                        return Err(DbmError::CycleLimitExceeded { limit: cycle_limit });
+                    }
+                    let pc = cpu.pc;
+                    if finish_addrs.contains(&pc) {
+                        return Ok(janus_spec::IterationRun {
+                            cycles: cpu.cycles,
+                            payload: (cpu, pc),
+                        });
+                    }
+                    let mut inst = process.inst_at(pc)?.clone();
+                    if pc == bound_cmp_addr {
+                        if let Inst::Cmp { lhs, .. } = inst {
+                            inst = Inst::Cmp {
+                                lhs,
+                                rhs: Operand::Imm(bound),
+                            };
+                        }
+                    }
+                    let next_pc = pc + INST_SIZE as u64;
+                    match exec_inst(&mut cpu, &mut *view, &inst, next_pc)? {
+                        Effect::Continue => cpu.pc = next_pc,
+                        Effect::Jump(t) => cpu.pc = t,
+                        // Calls and system calls are excluded from
+                        // speculative loops by classification; reaching one
+                        // here means the iteration ran off consistent state
+                        // (the engine retries) or the schedule is bad.
+                        other => {
+                            return Err(DbmError::BadRule {
+                                reason: format!(
+                                    "unsupported control flow in speculative loop: {other:?}"
+                                ),
+                            })
+                        }
+                    }
+                }
+            },
+        );
+        self.mem = base;
+
+        let outcome = match outcome {
+            Ok(outcome) => outcome,
+            Err(janus_spec::SpecError::Body(e)) => return Err(e),
+            Err(janus_spec::SpecError::AbortLimit { .. }) => {
+                // Too dependent to speculate profitably: run sequentially.
+                self.stats.spec_fallbacks += 1;
+                self.stats.sequential_fallbacks += 1;
+                return Ok(false);
+            }
+        };
+
+        let s = &outcome.stats;
+        self.stats.parallel_invocations += 1;
+        self.stats.spec_invocations += 1;
+        self.stats.spec_iterations += s.iterations;
+        self.stats.spec_executions += s.executions;
+        self.stats.spec_aborts += s.aborts;
+        self.stats.spec_validations += s.validations;
+        self.stats.spec_reads += s.reads;
+        self.stats.spec_writes += s.writes;
+        self.stats.breakdown.parallel += outcome.parallel_cycles;
+        self.stats.breakdown.init_finish += (self.config.loop_init_cost
+            + self.config.loop_finish_cost)
+            * u64::from(self.config.threads.max(1));
+
+        // Reduction totals across iterations (iteration 0 carries the
+        // incoming value, the rest are deltas).
+        let mut reduction_totals: Vec<i64> = lr
+            .reductions
+            .iter()
+            .map(
+                |(_var, _, is_float)| {
+                    if *is_float {
+                        0f64.to_bits() as i64
+                    } else {
+                        0
+                    }
+                },
+            )
+            .collect();
+        for (cpu, _) in &outcome.payloads {
+            self.stats.retired += cpu.retired;
+            for (idx, (var, _op, is_float)) in lr.reductions.iter().enumerate() {
+                let v = var.read(cpu, &mut self.mem);
+                let total = &mut reduction_totals[idx];
+                if *is_float {
+                    let sum = f64::from_bits(*total as u64);
+                    let val = f64::from_bits(v as u64);
+                    *total = (sum + val).to_bits() as i64;
+                } else {
+                    *total = total.wrapping_add(v);
+                }
+            }
+        }
+
+        // Merge the last iteration's context back into the main thread, as a
+        // sequential execution would have left it.
+        let (last_cpu, exit_pc) = outcome.payloads.last().expect("at least one iteration ran");
+        let saved_sp = self.main.sp();
+        let saved_fp = self.main.read_gpr(Reg::FP);
+        self.main.gpr = last_cpu.gpr;
+        self.main.vreg = last_cpu.vreg;
+        self.main.flags = last_cpu.flags;
+        self.main.set_sp(saved_sp);
+        self.main.write_gpr(Reg::FP, saved_fp);
+        for (idx, (var, _, _)) in lr.reductions.iter().enumerate() {
+            var.write(&mut self.main, &mut self.mem, reduction_totals[idx]);
+        }
+        self.main.pc = *exit_pc;
         Ok(true)
     }
 

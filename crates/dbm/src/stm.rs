@@ -50,10 +50,14 @@ impl<'a, M: GuestMemory> TxView<'a, M> {
     /// Validates the read log against shared memory.
     #[must_use]
     pub fn validate(&mut self) -> bool {
-        self.read_log
-            .clone()
+        // Split borrow: the log is only iterated while shared memory is
+        // re-read, so no clone of the (hot-path) read log is needed.
+        let TxView {
+            shared, read_log, ..
+        } = self;
+        read_log
             .iter()
-            .all(|(addr, value)| self.shared.read_u64(*addr) == *value)
+            .all(|(addr, value)| shared.read_u64(*addr) == *value)
     }
 
     /// Validates and, on success, applies the buffered writes to shared

@@ -79,11 +79,15 @@ pub enum RuleId {
     TxStart = 16,
     /// Validate and commit a software transaction.
     TxFinish = 17,
+    /// Run the loop under Block-STM-style iteration-level speculation
+    /// (multi-version memory, lazy validation, per-iteration rollback)
+    /// instead of chunked DOALL execution.
+    Speculate = 18,
 }
 
 impl RuleId {
     /// All rule identifiers in numeric order.
-    pub const ALL: [RuleId; 18] = [
+    pub const ALL: [RuleId; 19] = [
         RuleId::ProfLoopStart,
         RuleId::ProfLoopFinish,
         RuleId::ProfLoopIter,
@@ -102,6 +106,7 @@ impl RuleId {
         RuleId::MemRecoverReg,
         RuleId::TxStart,
         RuleId::TxFinish,
+        RuleId::Speculate,
     ];
 
     /// Numeric encoding of the rule id.
@@ -152,6 +157,7 @@ impl fmt::Display for RuleId {
             RuleId::MemRecoverReg => "MEM_RECOVER_REG",
             RuleId::TxStart => "TX_START",
             RuleId::TxFinish => "TX_FINISH",
+            RuleId::Speculate => "SPECULATE",
         };
         f.write_str(name)
     }
@@ -427,7 +433,8 @@ mod tests {
             6,
             "six profiling rules as in Figure 3"
         );
-        assert_eq!(RuleId::ALL.len(), 18);
+        assert_eq!(RuleId::ALL.len(), 19, "Figure 3's 18 rules plus SPECULATE");
+        assert!(!RuleId::Speculate.is_profiling());
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The multi-version guest-memory store and the per-iteration speculative
+//! view.
+//!
+//! [`MvMemory`] keeps, for every 64-bit-aligned guest word, an ordered map
+//! from iteration index to the latest value that iteration's most recent
+//! incarnation wrote there. A speculative read by iteration `i` observes the
+//! value written by the *highest iteration below `i`* — exactly the Block-STM
+//! visibility rule — with one refinement that keeps the whole engine
+//! deterministic on a single host thread: every entry is stamped with the
+//! virtual time at which its incarnation finished executing, and an execution
+//! that starts at virtual time `t` only sees entries recorded at or before
+//! `t`. Two iterations that would race on real hardware therefore conflict in
+//! exactly the same (reproducible) way on every run.
+//!
+//! When an incarnation is aborted its entries are replaced by *estimate*
+//! markers: a later iteration that reads an estimate knows a lower iteration
+//! is about to rewrite that word and blocks on it instead of wasting a full
+//! execution that is doomed to fail validation.
+
+use janus_vm::GuestMemory;
+use std::collections::{BTreeMap, HashMap};
+
+/// Index of a loop iteration inside one speculative invocation.
+pub type Iteration = usize;
+
+/// The i-th re-execution of an iteration, counting from 0.
+pub type Incarnation = u32;
+
+/// Where a speculative read obtained its value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOrigin {
+    /// The value came from shared memory (no lower iteration had written the
+    /// word when the read executed).
+    Base,
+    /// The value was written by a lower iteration's incarnation.
+    Version {
+        /// The iteration that wrote the value.
+        iteration: Iteration,
+        /// The incarnation of that iteration.
+        incarnation: Incarnation,
+    },
+}
+
+/// One multi-version entry for a word.
+#[derive(Debug, Clone, Copy)]
+enum Entry {
+    /// A committed speculative write.
+    Data {
+        incarnation: Incarnation,
+        value: u64,
+        /// Virtual time at which the writing incarnation finished.
+        at: u64,
+    },
+    /// The previous incarnation of this iteration wrote here and was
+    /// aborted; the next incarnation is estimated to write here again.
+    Estimate {
+        /// Virtual time at which the abort was processed.
+        at: u64,
+    },
+}
+
+/// The outcome of resolving a speculative read in the multi-version store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadResult {
+    /// No visible lower-iteration write: read shared memory.
+    Base,
+    /// A visible lower-iteration write supplies the value.
+    Versioned(ReadOrigin, u64),
+    /// The highest visible lower-iteration entry is an estimate: the reader
+    /// should block on the named iteration instead of executing further.
+    Blocked(Iteration),
+}
+
+/// Aggregate counters of one [`MvMemory`] lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MvStats {
+    /// Words currently holding at least one version.
+    pub words: u64,
+    /// Total versioned entries recorded (across incarnations).
+    pub entries_recorded: u64,
+    /// Entries converted to estimates by aborts.
+    pub estimates_created: u64,
+}
+
+/// The multi-version memory: `(word address, iteration) -> value`, layered
+/// over a [`GuestMemory`] base that is only read, never written, until the
+/// final commit.
+#[derive(Debug, Default)]
+pub struct MvMemory {
+    words: HashMap<u64, BTreeMap<Iteration, Entry>>,
+    /// The word set written by the latest incarnation of each iteration, used
+    /// to remove stale entries when the next incarnation writes less.
+    last_writes: HashMap<Iteration, Vec<u64>>,
+    stats: MvStats,
+}
+
+impl MvMemory {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> MvMemory {
+        MvMemory::default()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> MvStats {
+        MvStats {
+            words: self.words.len() as u64,
+            ..self.stats
+        }
+    }
+
+    /// Resolves a read of `word` by `iteration` whose execution started at
+    /// virtual time `now`. Pass [`u64::MAX`] to see every entry (validation
+    /// and commit are "late" and observe the full store).
+    #[must_use]
+    pub fn read(&self, word: u64, iteration: Iteration, now: u64) -> ReadResult {
+        let Some(versions) = self.words.get(&word) else {
+            return ReadResult::Base;
+        };
+        for (&it, entry) in versions.range(..iteration).rev() {
+            match *entry {
+                Entry::Data {
+                    incarnation,
+                    value,
+                    at,
+                } if at <= now => {
+                    return ReadResult::Versioned(
+                        ReadOrigin::Version {
+                            iteration: it,
+                            incarnation,
+                        },
+                        value,
+                    );
+                }
+                Entry::Estimate { at } if at <= now => return ReadResult::Blocked(it),
+                // Recorded after this execution started: not visible yet.
+                _ => {}
+            }
+        }
+        ReadResult::Base
+    }
+
+    /// Records the write set of one finished incarnation, stamped with the
+    /// virtual time `at` at which it completed. Entries written by the
+    /// previous incarnation but absent from the new write set are removed.
+    /// Returns `true` when the incarnation wrote to a word its predecessor
+    /// did not touch (Block-STM's `wrote_new_location`).
+    pub fn record(
+        &mut self,
+        iteration: Iteration,
+        incarnation: Incarnation,
+        writes: &HashMap<u64, u64>,
+        at: u64,
+    ) -> bool {
+        let mut wrote_new = false;
+        for (&word, &value) in writes {
+            let prev = self.words.entry(word).or_default().insert(
+                iteration,
+                Entry::Data {
+                    incarnation,
+                    value,
+                    at,
+                },
+            );
+            wrote_new |= prev.is_none();
+            self.stats.entries_recorded += 1;
+        }
+        let prev_words = self
+            .last_writes
+            .insert(iteration, {
+                let mut v: Vec<u64> = writes.keys().copied().collect();
+                v.sort_unstable();
+                v
+            })
+            .unwrap_or_default();
+        for word in prev_words {
+            if !writes.contains_key(&word) {
+                if let Some(versions) = self.words.get_mut(&word) {
+                    versions.remove(&iteration);
+                    if versions.is_empty() {
+                        self.words.remove(&word);
+                    }
+                }
+            }
+        }
+        wrote_new
+    }
+
+    /// Replaces every entry of `iteration`'s latest incarnation with an
+    /// estimate marker (called when the incarnation is aborted).
+    pub fn convert_writes_to_estimates(&mut self, iteration: Iteration, at: u64) {
+        if let Some(words) = self.last_writes.get(&iteration) {
+            for word in words {
+                if let Some(entry) = self
+                    .words
+                    .get_mut(word)
+                    .and_then(|versions| versions.get_mut(&iteration))
+                {
+                    *entry = Entry::Estimate { at };
+                    self.stats.estimates_created += 1;
+                }
+            }
+        }
+    }
+
+    /// The final memory image: for every word, the value written by the
+    /// highest iteration, sorted by address. Must only be called once every
+    /// iteration has validated (no estimates remain).
+    #[must_use]
+    pub fn final_image(&self) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .words
+            .iter()
+            .filter_map(|(&word, versions)| {
+                versions.values().next_back().and_then(|entry| match entry {
+                    Entry::Data { value, .. } => Some((word, *value)),
+                    Entry::Estimate { .. } => None,
+                })
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Applies the final image to `base` (the commit at the end of a
+    /// successful speculative invocation).
+    pub fn commit_into<M: GuestMemory>(&self, base: &mut M) {
+        for (word, value) in self.final_image() {
+            base.write_u64(word, value);
+        }
+    }
+}
+
+/// A read recorded by one incarnation: where the value came from and what it
+/// was (the latter enables lazy *value* validation on top of read-from
+/// tracking).
+pub type ReadSet = HashMap<u64, (ReadOrigin, u64)>;
+
+/// Counters of one incarnation's execution through a [`SpecView`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// 64-bit word reads that consulted shared state (own-buffer hits are
+    /// not counted).
+    pub reads: u64,
+    /// 64-bit word writes buffered.
+    pub writes: u64,
+}
+
+/// A per-incarnation speculative view over `MvMemory` + base memory.
+///
+/// Reads consult the incarnation's own write buffer first, then the
+/// multi-version store (restricted to entries visible at the incarnation's
+/// virtual start time), then shared memory — recording the origin and value
+/// of every shared read. Writes are buffered until the engine records them.
+#[derive(Debug)]
+pub struct SpecView<'a, M: GuestMemory> {
+    base: &'a mut M,
+    mv: &'a MvMemory,
+    iteration: Iteration,
+    /// Virtual time at which this incarnation started executing.
+    now: u64,
+    read_set: ReadSet,
+    write_buffer: HashMap<u64, u64>,
+    blocked_on: Option<Iteration>,
+    stats: ViewStats,
+}
+
+impl<'a, M: GuestMemory> SpecView<'a, M> {
+    /// A fresh view for one incarnation of `iteration` starting at virtual
+    /// time `now`.
+    pub fn new(base: &'a mut M, mv: &'a MvMemory, iteration: Iteration, now: u64) -> Self {
+        SpecView {
+            base,
+            mv,
+            iteration,
+            now,
+            read_set: ReadSet::default(),
+            write_buffer: HashMap::new(),
+            blocked_on: None,
+            stats: ViewStats::default(),
+        }
+    }
+
+    /// The iteration this view belongs to.
+    #[must_use]
+    pub fn iteration(&self) -> Iteration {
+        self.iteration
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> ViewStats {
+        self.stats
+    }
+
+    /// Consumes the view, returning `(read set, write buffer, blocked-on,
+    /// stats)`.
+    #[must_use]
+    #[allow(clippy::type_complexity)]
+    pub fn finish(self) -> (ReadSet, HashMap<u64, u64>, Option<Iteration>, ViewStats) {
+        (
+            self.read_set,
+            self.write_buffer,
+            self.blocked_on,
+            self.stats,
+        )
+    }
+
+    fn aligned(addr: u64) -> u64 {
+        addr & !7
+    }
+}
+
+impl<M: GuestMemory> GuestMemory for SpecView<'_, M> {
+    fn read_u8(&mut self, addr: u64) -> u8 {
+        let word = Self::aligned(addr);
+        let v = self.read_u64(word);
+        v.to_le_bytes()[(addr - word) as usize]
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        let word = Self::aligned(addr);
+        let mut bytes = self.read_u64(word).to_le_bytes();
+        bytes[(addr - word) as usize] = value;
+        self.write_u64(word, u64::from_le_bytes(bytes));
+    }
+
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        let word = Self::aligned(addr);
+        if word == addr {
+            if let Some(v) = self.write_buffer.get(&word) {
+                return *v;
+            }
+            self.stats.reads += 1;
+            let (origin, value) = match self.mv.read(word, self.iteration, self.now) {
+                ReadResult::Versioned(origin, value) => (origin, value),
+                ReadResult::Base => (ReadOrigin::Base, self.base.read_u64(word)),
+                ReadResult::Blocked(on) => {
+                    // Remember the *lowest* blocking iteration; execution is
+                    // abandoned by the engine, the value is a placeholder.
+                    let lowest = self.blocked_on.map_or(on, |prev| prev.min(on));
+                    self.blocked_on = Some(lowest);
+                    (ReadOrigin::Base, self.base.read_u64(word))
+                }
+            };
+            // First read wins: the incarnation's view of a word must be the
+            // value it first observed.
+            self.read_set.entry(word).or_insert((origin, value)).1
+        } else {
+            // Unaligned: compose from the two covering words.
+            let lo = self.read_u64(word);
+            let hi = self.read_u64(word + 8);
+            let shift = (addr - word) * 8;
+            (lo >> shift) | (hi << (64 - shift))
+        }
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        let word = Self::aligned(addr);
+        if word == addr {
+            self.write_buffer.insert(word, value);
+            self.stats.writes += 1;
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_vm::FlatMemory;
+
+    #[test]
+    fn reads_observe_highest_visible_lower_iteration() {
+        let mut base = FlatMemory::new();
+        base.write_u64(0x1000, 1);
+        let mut mv = MvMemory::new();
+        let w2: HashMap<u64, u64> = [(0x1000u64, 22u64)].into_iter().collect();
+        let w5: HashMap<u64, u64> = [(0x1000u64, 55u64)].into_iter().collect();
+        assert!(mv.record(2, 0, &w2, 10));
+        assert!(mv.record(5, 0, &w5, 30));
+        // Iteration 7, started at t=40: sees iteration 5.
+        assert_eq!(
+            mv.read(0x1000, 7, 40),
+            ReadResult::Versioned(
+                ReadOrigin::Version {
+                    iteration: 5,
+                    incarnation: 0
+                },
+                55
+            )
+        );
+        // Iteration 7, started at t=20: iteration 5's write is in its future,
+        // so it sees iteration 2 — the deterministic model of a real race.
+        assert_eq!(
+            mv.read(0x1000, 7, 20),
+            ReadResult::Versioned(
+                ReadOrigin::Version {
+                    iteration: 2,
+                    incarnation: 0
+                },
+                22
+            )
+        );
+        // Iteration 1 never sees higher iterations.
+        assert_eq!(mv.read(0x1000, 1, u64::MAX), ReadResult::Base);
+    }
+
+    #[test]
+    fn estimates_block_readers_and_rerecording_clears_them() {
+        let mut mv = MvMemory::new();
+        let w: HashMap<u64, u64> = [(0x2000u64, 7u64)].into_iter().collect();
+        mv.record(3, 0, &w, 5);
+        mv.convert_writes_to_estimates(3, 6);
+        assert_eq!(mv.read(0x2000, 4, 10), ReadResult::Blocked(3));
+        // The next incarnation writes elsewhere: the estimate is removed.
+        let w2: HashMap<u64, u64> = [(0x2008u64, 8u64)].into_iter().collect();
+        mv.record(3, 1, &w2, 12);
+        assert_eq!(mv.read(0x2000, 4, 20), ReadResult::Base);
+        assert_eq!(
+            mv.read(0x2008, 4, 20),
+            ReadResult::Versioned(
+                ReadOrigin::Version {
+                    iteration: 3,
+                    incarnation: 1
+                },
+                8
+            )
+        );
+    }
+
+    #[test]
+    fn view_buffers_writes_and_records_first_read() {
+        let mut base = FlatMemory::new();
+        base.write_u64(0x3000, 9);
+        let mv = MvMemory::new();
+        let mut view = SpecView::new(&mut base, &mv, 0, 0);
+        assert_eq!(view.read_u64(0x3000), 9);
+        view.write_u64(0x3000, 11);
+        assert_eq!(view.read_u64(0x3000), 11, "reads observe own writes");
+        let (reads, writes, blocked, stats) = view.finish();
+        assert_eq!(reads.get(&0x3000), Some(&(ReadOrigin::Base, 9)));
+        assert_eq!(writes.get(&0x3000), Some(&11));
+        assert!(blocked.is_none());
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(base.read_u64(0x3000), 9, "base untouched until commit");
+    }
+
+    #[test]
+    fn byte_accesses_compose_through_words() {
+        let mut base = FlatMemory::new();
+        base.write_u64(0x1000, 0x1122_3344_5566_7788);
+        let mv = MvMemory::new();
+        let mut view = SpecView::new(&mut base, &mv, 0, 0);
+        assert_eq!(view.read_u8(0x1001), 0x77);
+        view.write_u8(0x1001, 0xaa);
+        assert_eq!(view.read_u8(0x1001), 0xaa);
+        let (_, writes, _, _) = view.finish();
+        assert_eq!(writes.get(&0x1000), Some(&0x1122_3344_5566_aa88));
+    }
+
+    #[test]
+    fn final_image_takes_the_highest_iteration_per_word() {
+        let mut mv = MvMemory::new();
+        mv.record(0, 0, &[(0x10u64, 1u64)].into_iter().collect(), 1);
+        mv.record(4, 0, &[(0x10u64, 5u64), (0x18, 6)].into_iter().collect(), 2);
+        mv.record(2, 0, &[(0x10u64, 3u64)].into_iter().collect(), 3);
+        assert_eq!(mv.final_image(), vec![(0x10, 5), (0x18, 6)]);
+        let mut base = FlatMemory::new();
+        mv.commit_into(&mut base);
+        assert_eq!(base.read_u64(0x10), 5);
+        assert_eq!(base.read_u64(0x18), 6);
+    }
+}

@@ -15,6 +15,13 @@
 //! Each workload carries a `train` and a `ref` input scale; profiling runs
 //! use the training scale, measured runs the reference scale.
 //!
+//! Beyond the 25 SPEC stand-ins, [`speculative_benchmarks`] names four
+//! may-dependent (DOACROSS-shaped) kernels — histogram scatter-add, sparse
+//! field update, gather/scatter and a sliding-window recurrence — whose hot
+//! loops the seed pipeline must serialise; they exist to exercise the
+//! `janus-spec` iteration-level speculation engine and feed the `table3`
+//! abort-rate figure.
+//!
 //! The names refer to the SPEC benchmarks only to indicate *which published
 //! behaviour each synthetic program imitates*; none of the original source
 //! code or data is included.
@@ -25,5 +32,6 @@
 pub mod suite;
 
 pub use suite::{
-    all_names, parallel_benchmarks, program_by_name, suite, workload, Workload, WorkloadClass,
+    all_names, parallel_benchmarks, program_by_name, spec_suite, speculative_benchmarks, suite,
+    workload, Workload, WorkloadClass,
 };

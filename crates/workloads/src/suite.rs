@@ -13,6 +13,10 @@ pub enum WorkloadClass {
     FloatDynamic,
     /// Integer / C++-like code dominated by incompatible loops.
     IntegerIrregular,
+    /// Dominated by a may-dependent (DOACROSS-shaped) loop — data-dependent
+    /// subscripts or sliding windows — that only the iteration-level
+    /// speculation engine (`janus-spec`) can parallelise.
+    MayDependent,
 }
 
 /// One benchmark program plus its input scales.
@@ -35,6 +39,13 @@ impl Workload {
     pub fn is_parallel_candidate(&self) -> bool {
         parallel_benchmarks().contains(&self.name)
     }
+
+    /// Returns `true` if this workload's hot loop needs iteration-level
+    /// speculation (the `janus-spec` engine) to parallelise.
+    #[must_use]
+    pub fn is_speculative_candidate(&self) -> bool {
+        speculative_benchmarks().contains(&self.name)
+    }
 }
 
 /// The nine benchmarks the paper parallelises in Figures 7–12.
@@ -51,6 +62,28 @@ pub fn parallel_benchmarks() -> [&'static str; 9] {
         "470.lbm",
         "482.sphinx3",
     ]
+}
+
+/// The may-dependent (DOACROSS-shaped) kernels that the seed pipeline runs
+/// serially and the `janus-spec` engine parallelises speculatively. Not part
+/// of the paper's 25-benchmark suite.
+#[must_use]
+pub fn speculative_benchmarks() -> [&'static str; 4] {
+    [
+        "spec.histogram",
+        "spec.sparse-update",
+        "spec.gather-scatter",
+        "spec.doacross-window",
+    ]
+}
+
+/// Builds every speculative workload.
+#[must_use]
+pub fn spec_suite() -> Vec<Workload> {
+    speculative_benchmarks()
+        .into_iter()
+        .map(|n| workload(n).unwrap())
+        .collect()
 }
 
 /// Names of every workload in the suite (Figure 6's x-axis).
@@ -121,6 +154,10 @@ pub fn workload(name: &str) -> Option<Workload> {
         "401.bzip2" | "429.mcf" | "456.hmmer" | "473.astar" | "450.soplex" => {
             (WorkloadClass::IntegerIrregular, pointer_chasing_integer)
         }
+        "spec.histogram" => (WorkloadClass::MayDependent, spec_histogram),
+        "spec.sparse-update" => (WorkloadClass::MayDependent, spec_sparse_update),
+        "spec.gather-scatter" => (WorkloadClass::MayDependent, spec_gather_scatter),
+        "spec.doacross-window" => (WorkloadClass::MayDependent, spec_doacross_window),
         _ => return None,
     };
     let seed = name.bytes().map(u64::from).sum::<u64>();
@@ -131,7 +168,10 @@ pub fn workload(name: &str) -> Option<Workload> {
     let mut train_program = build(train_scale);
     train_program.name = format!("{name}.train");
     Some(Workload {
-        name: all_names().into_iter().find(|n| *n == name)?,
+        name: all_names()
+            .into_iter()
+            .chain(speculative_benchmarks())
+            .find(|n| *n == name)?,
         class,
         program,
         train_program,
@@ -659,6 +699,156 @@ fn h264ref(scale: u64) -> Program {
 }
 
 // ----------------------------------------------------------------------------
+// May-dependent (speculative DOACROSS) kernels
+// ----------------------------------------------------------------------------
+
+/// An i64 index array with values in `[0, modulus)`.
+fn index_array(name: &str, len: usize, seed: i64, modulus: i64) -> GlobalArray {
+    GlobalArray {
+        name: name.to_string(),
+        ty: Ty::I64,
+        len,
+        init: Init::Pattern {
+            mul: 13 + seed,
+            add: 5 * seed + 2,
+            modulus: modulus.max(2),
+        },
+    }
+}
+
+/// `spec.histogram`: `hist[idx[i]] += w[i]` — a scatter-add through a
+/// data-dependent subscript. Collisions exist (the bin count is below the
+/// iteration count) but are spread far apart, so speculative iterations
+/// rarely conflict inside the in-flight window.
+fn spec_histogram(scale: u64) -> Program {
+    let n = (scale * 420) as i64;
+    let bins = (n * 3 / 4).max(8);
+    let mut body = vec![Stmt::simple_for(
+        "i",
+        Expr::const_i(0),
+        Expr::const_i(n),
+        vec![Stmt::assign(
+            LValue::store("hist", Expr::load("idx", Expr::var("i"))),
+            Expr::add(
+                Expr::load("hist", Expr::load("idx", Expr::var("i"))),
+                Expr::load("w", Expr::var("i")),
+            ),
+        )],
+    )];
+    body.extend(dot_loop("hist", "hist", bins));
+    Program::builder("spec.histogram")
+        .global(index_array("idx", n as usize, 41, bins))
+        .global(f64_array("w", n as usize, 42))
+        .global(f64_array("hist", bins as usize, 43))
+        .function(
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body(body),
+        )
+        .build()
+}
+
+/// `spec.sparse-update`: `cell[map[i]] = cell[map[i]] * 0.6 + inc[i]` — a
+/// read-modify-write sparse field update; every cell is revisited a few
+/// times, at long distances.
+fn spec_sparse_update(scale: u64) -> Program {
+    let n = (scale * 380) as i64;
+    let cells = (n / 2).max(8);
+    let mut body = vec![Stmt::simple_for(
+        "i",
+        Expr::const_i(0),
+        Expr::const_i(n),
+        vec![Stmt::assign(
+            LValue::store("cell", Expr::load("map", Expr::var("i"))),
+            Expr::add(
+                Expr::mul(
+                    Expr::load("cell", Expr::load("map", Expr::var("i"))),
+                    Expr::const_f(0.6),
+                ),
+                Expr::load("inc", Expr::var("i")),
+            ),
+        )],
+    )];
+    body.extend(dot_loop("cell", "cell", cells));
+    Program::builder("spec.sparse-update")
+        .global(index_array("map", n as usize, 44, cells))
+        .global(f64_array("inc", n as usize, 45))
+        .global(f64_array("cell", cells as usize, 46))
+        .function(
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body(body),
+        )
+        .build()
+}
+
+/// `spec.gather-scatter`: `dst[p[i]] += src[q[i]]` — independent gather and
+/// scatter permutations, the classic irregular kernel no bounds check can
+/// discharge.
+fn spec_gather_scatter(scale: u64) -> Program {
+    let n = (scale * 340) as i64;
+    let mut body = vec![Stmt::simple_for(
+        "i",
+        Expr::const_i(0),
+        Expr::const_i(n),
+        vec![Stmt::assign(
+            LValue::store("dst", Expr::load("p", Expr::var("i"))),
+            Expr::add(
+                Expr::load("dst", Expr::load("p", Expr::var("i"))),
+                Expr::load("src", Expr::load("q", Expr::var("i"))),
+            ),
+        )],
+    )];
+    body.extend(dot_loop("dst", "src", n));
+    Program::builder("spec.gather-scatter")
+        .global(index_array("p", n as usize, 47, n))
+        .global(index_array("q", n as usize, 48, n))
+        .global(f64_array("src", n as usize, 49))
+        .global(f64_array("dst", n as usize, 50))
+        .function(
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body(body),
+        )
+        .build()
+}
+
+/// `spec.doacross-window`: `ring[i % 6] += a[i]` — a sliding-window
+/// recurrence with cross-iteration dependences at distance 6, *inside* the
+/// speculative in-flight window: iterations genuinely conflict, abort and
+/// retry, and the abort counters in the run report are non-trivial.
+fn spec_doacross_window(scale: u64) -> Program {
+    let n = (scale * 300) as i64;
+    let window = 6i64;
+    let mut body = vec![Stmt::simple_for(
+        "i",
+        Expr::const_i(0),
+        Expr::const_i(n),
+        vec![Stmt::assign(
+            LValue::store("ring", Expr::rem(Expr::var("i"), Expr::const_i(window))),
+            Expr::add(
+                Expr::load("ring", Expr::rem(Expr::var("i"), Expr::const_i(window))),
+                Expr::load("a", Expr::var("i")),
+            ),
+        )],
+    )];
+    body.extend(dot_loop("ring", "ring", window));
+    Program::builder("spec.doacross-window")
+        .global(f64_array("a", n as usize, 51))
+        .global(f64_array("ring", window as usize, 52))
+        .function(
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body(body),
+        )
+        .build()
+}
+
+// ----------------------------------------------------------------------------
 // Non-parallelisable benchmark templates
 // ----------------------------------------------------------------------------
 
@@ -823,6 +1013,32 @@ mod tests {
         assert!(workload("does-not-exist").is_none());
         assert_eq!(all_names().len(), 25);
         assert_eq!(parallel_benchmarks().len(), 9);
+        let h = workload("spec.histogram").unwrap();
+        assert!(h.is_speculative_candidate());
+        assert!(!h.is_parallel_candidate());
+        assert_eq!(h.class, WorkloadClass::MayDependent);
+        assert!(!workload("470.lbm").unwrap().is_speculative_candidate());
+    }
+
+    #[test]
+    fn speculative_workloads_compile_and_run_natively() {
+        let suite = spec_suite();
+        assert_eq!(suite.len(), 4);
+        for w in &suite {
+            let bin = Compiler::with_options(CompileOptions::gcc_o2())
+                .compile(&w.train_program)
+                .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name));
+            let mut vm = Vm::new(Process::load(&bin).unwrap());
+            let result = vm
+                .run()
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            assert!(result.retired > 0, "{}", w.name);
+            assert!(
+                !vm.output_floats().is_empty(),
+                "{} produced no output",
+                w.name
+            );
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! * [`schedule`] — rewrite rules and rewrite schedules.
 //! * [`profile`] — statically-driven coverage and dependence profiling.
 //! * [`dbm`] — the dynamic binary modifier and parallel runtime.
+//! * [`spec`] — Block-STM-style speculative DOACROSS loop execution.
 //! * [`core`] — the end-to-end Janus pipeline.
 //! * [`workloads`] — the synthetic SPEC-like benchmark programs.
 //!
@@ -36,5 +37,6 @@ pub use janus_dbm as dbm;
 pub use janus_ir as ir;
 pub use janus_profile as profile;
 pub use janus_schedule as schedule;
+pub use janus_spec as spec;
 pub use janus_vm as vm;
 pub use janus_workloads as workloads;
