@@ -1,41 +1,119 @@
 //! Regenerates every table and figure of the paper's evaluation and prints
-//! them as text tables.
+//! them as text tables, plus a machine-readable per-backend benchmark.
 //!
-//! Usage: `cargo run --release -p janus-bench --bin figures [fig6|fig7|...|all]`
+//! Usage:
+//! `cargo run --release -p janus-bench --bin figures -- \
+//!     [fig6|fig7|...|table3|bench-json|all] [--backend virtual|native] [--threads N]`
+//!
+//! `--backend` selects the execution backend for every figure (it sets
+//! `JANUS_BACKEND`, which the default configurations honour); modelled
+//! cycles — and therefore every printed figure — are identical across
+//! backends, so the flag matters for wall-clock measurements and for
+//! `bench-json`, which writes `BENCH_<backend>.json` with per-workload
+//! speedup and wall time. `--threads` controls the thread-scaling figures
+//! (default 8).
 
 use janus_bench as bench;
+use janus_core::BackendKind;
 
-const FIGURES: [(&str, fn()); 10] = [
-    ("fig6", fig6),
+/// A named figure renderer taking the thread count.
+type Figure = (&'static str, fn(u32));
+
+const FIGURES: [Figure; 11] = [
+    ("fig6", |_| fig6()),
     ("fig7", fig7),
-    ("fig8", fig8),
+    ("fig8", |_| fig8()),
     ("fig9", fig9),
-    ("fig10", fig10),
+    ("fig10", |_| fig10()),
     ("fig11", fig11),
     ("fig12", fig12),
-    ("table1", table1),
-    ("table2", table2),
+    ("table1", |_| table1()),
+    ("table2", |_| table2()),
     ("table3", table3),
+    ("bench-json", bench_json),
 ];
 
+fn usage() -> ! {
+    let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
+    eprintln!(
+        "usage: figures [{} | all] [--backend virtual|native] [--threads N]",
+        names.join(" | ")
+    );
+    std::process::exit(2);
+}
+
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut which: Option<String> = None;
+    let mut threads: u32 = 8;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let value = args.next().unwrap_or_else(|| usage());
+                let Some(kind) = BackendKind::parse(&value) else {
+                    eprintln!("unknown backend {value:?}; expected virtual or native");
+                    std::process::exit(2);
+                };
+                // The default configurations (and therefore every figure
+                // function) honour JANUS_BACKEND.
+                std::env::set_var("JANUS_BACKEND", kind.label());
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t| *t > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            name if !name.starts_with('-') && which.is_none() => {
+                which = Some(name.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
     if which == "all" {
-        for (_, run) in FIGURES {
-            run();
+        for (name, run) in FIGURES {
+            // `bench-json` is an export command (it writes a file); keep the
+            // default figure sweep a pure print.
+            if name != "bench-json" {
+                run(threads);
+            }
         }
         return;
     }
     match FIGURES.iter().find(|(name, _)| *name == which) {
-        Some((_, run)) => run(),
-        None => {
-            let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
-            eprintln!(
-                "unknown figure {which:?}; expected one of: all, {}",
-                names.join(", ")
-            );
-            std::process::exit(2);
-        }
+        Some((_, run)) => run(threads),
+        None => usage(),
+    }
+}
+
+fn bench_json(threads: u32) {
+    let backend = BackendKind::from_env();
+    let rows = bench::backend_bench(backend, threads);
+    let json = bench::backend_bench_json(&rows, threads);
+    let path = format!("BENCH_{}.json", backend.label());
+    std::fs::write(&path, &json).expect("write benchmark json");
+    println!(
+        "\n=== Backend benchmark ({} backend, {} threads) -> {} ===",
+        backend.label(),
+        threads,
+        path
+    );
+    println!(
+        "{:<22} {:>9} {:>14} {:>12} {:>10} {:>6}",
+        "workload", "speedup", "cycles", "wall (s)", "threads", "match"
+    );
+    for r in &rows {
+        println!(
+            "{:<22} {:>9.2} {:>14} {:>12.4} {:>10} {:>6}",
+            r.name,
+            r.speedup,
+            r.cycles,
+            r.wall_seconds,
+            r.os_threads_used,
+            if r.outputs_match { "yes" } else { "NO" },
+        );
     }
 }
 
@@ -57,13 +135,13 @@ fn fig6() {
     }
 }
 
-fn fig7() {
-    println!("\n=== Figure 7: whole-program speedup, 8 threads ===");
+fn fig7(threads: u32) {
+    println!("\n=== Figure 7: whole-program speedup, {threads} threads ===");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "DynamoRIO", "Static", "+Profile", "Janus"
     );
-    let rows = bench::fig7_speedup(8);
+    let rows = bench::fig7_speedup(threads);
     for r in &rows {
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -101,14 +179,14 @@ fn fig8() {
     }
 }
 
-fn fig9() {
+fn fig9(threads: u32) {
     println!("\n=== Figure 9: speedup vs number of threads ===");
     print!("{:<16}", "benchmark");
-    for t in 1..=8 {
+    for t in 1..=threads {
         print!(" {:>6}", format!("{t}T"));
     }
     println!();
-    for (name, series) in bench::fig9_scaling(8) {
+    for (name, series) in bench::fig9_scaling(threads) {
         print!("{name:<16}");
         for (_, s) in series {
             print!(" {s:>6.2}");
@@ -130,13 +208,13 @@ fn fig10() {
     );
 }
 
-fn fig11() {
-    println!("\n=== Figure 11: Janus vs compiler auto-parallelisation (8 threads) ===");
+fn fig11(threads: u32) {
+    println!("\n=== Figure 11: Janus vs compiler auto-parallelisation ({threads} threads) ===");
     println!(
         "{:<16} {:>12} {:>14} {:>12} {:>14}",
         "benchmark", "gcc -parallel", "Janus on gcc", "icc -parallel", "Janus on icc"
     );
-    let rows = bench::fig11_compiler_comparison(8);
+    let rows = bench::fig11_compiler_comparison(threads);
     for r in &rows {
         println!(
             "{:<16} {:>12.2} {:>14.2} {:>12.2} {:>14.2}",
@@ -153,13 +231,13 @@ fn fig11() {
     );
 }
 
-fn fig12() {
+fn fig12(threads: u32) {
     println!("\n=== Figure 12: Janus speedup by compiler optimisation level ===");
     println!(
         "{:<16} {:>8} {:>8} {:>10}",
         "benchmark", "-O2", "-O3", "-O3 -mavx"
     );
-    let rows = bench::fig12_opt_levels(8);
+    let rows = bench::fig12_opt_levels(threads);
     for (name, s) in &rows {
         println!("{:<16} {:>8.2} {:>8.2} {:>10.2}", name, s[0], s[1], s[2]);
     }
@@ -176,8 +254,8 @@ fn table1() {
     }
 }
 
-fn table3() {
-    println!("\n=== Table III: speculative DOACROSS execution (8 threads) ===");
+fn table3(threads: u32) {
+    println!("\n=== Table III: speculative DOACROSS execution ({threads} threads) ===");
     println!(
         "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9} {:>6}",
         "workload",
@@ -190,7 +268,7 @@ fn table3() {
         "speedup",
         "match"
     );
-    for r in bench::table3_speculation(8) {
+    for r in bench::table3_speculation(threads) {
         println!(
             "{:<22} {:>10} {:>10} {:>8} {:>8} {:>7.1}% {:>10} {:>9.2} {:>6}",
             r.name,

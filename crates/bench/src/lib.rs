@@ -16,7 +16,7 @@
 
 use janus_analysis::LoopCategory;
 use janus_compile::{CompileOptions, Compiler, OptLevel};
-use janus_core::{Janus, JanusConfig, OptimisationMode};
+use janus_core::{BackendKind, Janus, JanusConfig, OptimisationMode};
 use janus_ir::JBinary;
 use janus_vm::{Process, Vm};
 use janus_workloads::{parallel_benchmarks, speculative_benchmarks, suite, workload};
@@ -405,6 +405,93 @@ pub fn table2_tool_comparison() -> Vec<[&'static str; 7]> {
     ]
 }
 
+/// One row of the machine-readable per-backend benchmark
+/// (`BENCH_<backend>.json`): whole-program speedup, modelled cycles and
+/// wall-clock time for one workload under the full Janus configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Backend the row was measured under.
+    pub backend: BackendKind,
+    /// Whole-program modelled speedup over native execution.
+    pub speedup: f64,
+    /// Modelled cycles of the parallel run.
+    pub cycles: u64,
+    /// Wall-clock seconds of the parallel run (host-dependent).
+    pub wall_seconds: f64,
+    /// Wall-clock seconds spent inside parallel regions.
+    pub parallel_wall_seconds: f64,
+    /// Largest OS-thread fan-out of any parallel invocation.
+    pub os_threads_used: u64,
+    /// Whether the parallel run reproduced the native output.
+    pub outputs_match: bool,
+}
+
+/// Runs every parallelisable and speculative workload under `backend` with
+/// the full Janus configuration and returns one row per workload — the data
+/// behind `BENCH_<backend>.json`, which tracks the performance trajectory of
+/// the runtime across commits.
+#[must_use]
+pub fn backend_bench(backend: BackendKind, threads: u32) -> Vec<BackendBenchRow> {
+    parallel_benchmarks()
+        .into_iter()
+        .chain(speculative_benchmarks())
+        .map(|name| {
+            let binary = compile_ref(name, CompileOptions::gcc_o3());
+            let report = Janus::with_config(JanusConfig {
+                threads,
+                backend,
+                ..JanusConfig::default()
+            })
+            .run(&binary, &[])
+            .expect("pipeline succeeds");
+            BackendBenchRow {
+                name,
+                backend,
+                speedup: report.speedup(),
+                cycles: report.parallel.cycles,
+                wall_seconds: report.wall_seconds(),
+                parallel_wall_seconds: report.parallel_wall_seconds(),
+                os_threads_used: report.os_threads_used(),
+                outputs_match: report.outputs_match,
+            }
+        })
+        .collect()
+}
+
+/// Renders backend-bench rows as a JSON document (no external dependencies;
+/// the format is flat and append-friendly for trend tooling).
+#[must_use]
+pub fn backend_bench_json(rows: &[BackendBenchRow], threads: u32) -> String {
+    let mut out = String::from("{\n");
+    let backend = rows.first().map_or("unknown", |r| r.backend.label());
+    out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!(
+        "  \"geomean_speedup\": {:.6},\n",
+        geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>())
+    ));
+    out.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"speedup\": {:.6}, \"cycles\": {}, \
+             \"wall_seconds\": {:.6}, \"parallel_wall_seconds\": {:.6}, \
+             \"os_threads_used\": {}, \"outputs_match\": {}}}{}\n",
+            r.name,
+            r.speedup,
+            r.cycles,
+            r.wall_seconds,
+            r.parallel_wall_seconds,
+            r.os_threads_used,
+            r.outputs_match,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Geometric mean helper used when summarising speedups.
 #[must_use]
 pub fn geomean(values: &[f64]) -> f64 {
@@ -427,6 +514,43 @@ mod tests {
     #[test]
     fn table2_has_a_row_per_tool_plus_header() {
         assert_eq!(table2_tool_comparison().len(), 5);
+    }
+
+    #[test]
+    fn backend_bench_json_is_well_formed() {
+        let rows = [
+            BackendBenchRow {
+                name: "470.lbm",
+                backend: BackendKind::NativeThreads,
+                speedup: 6.5,
+                cycles: 123,
+                wall_seconds: 0.25,
+                parallel_wall_seconds: 0.125,
+                os_threads_used: 8,
+                outputs_match: true,
+            },
+            BackendBenchRow {
+                name: "433.milc",
+                backend: BackendKind::NativeThreads,
+                speedup: 0.75,
+                cycles: 456,
+                wall_seconds: 0.5,
+                parallel_wall_seconds: 0.0,
+                os_threads_used: 0,
+                outputs_match: true,
+            },
+        ];
+        let json = backend_bench_json(&rows, 8);
+        assert!(json.contains("\"backend\": \"native\""));
+        assert!(json.contains("\"threads\": 8"));
+        assert!(json.contains("\"name\": \"470.lbm\""));
+        assert!(json.contains("\"os_threads_used\": 8"));
+        assert!(
+            json.matches('{').count() == json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        // Exactly one trailing comma between the two workload objects.
+        assert_eq!(json.matches("},\n").count(), rows.len() - 1);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use janus_schedule::{RewriteRule, RewriteSchedule, RuleId};
 use janus_vm::{Process, RunResult, Vm, VmError};
 use std::fmt;
 
-pub use janus_dbm::{SideSpec, VarSpec};
+pub use janus_dbm::{BackendKind, SideSpec, VarSpec};
 
 /// The optimisation levels evaluated in the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -86,6 +86,12 @@ impl OptimisationMode {
 pub struct JanusConfig {
     /// Number of threads for parallel loops.
     pub threads: u32,
+    /// Execution backend for parallel loops: the deterministic virtual-time
+    /// simulator (default; reproduces the paper's figures bit-for-bit) or
+    /// real OS worker threads (`BackendKind::NativeThreads`; identical guest
+    /// results plus wall-clock measurements). Defaults to the `JANUS_BACKEND`
+    /// environment variable when set.
+    pub backend: BackendKind,
     /// Which parts of the pipeline to enable.
     pub mode: OptimisationMode,
     /// Loops with profile coverage below this fraction are not parallelised
@@ -106,6 +112,7 @@ impl Default for JanusConfig {
     fn default() -> Self {
         JanusConfig {
             threads: 8,
+            backend: BackendKind::from_env(),
             mode: OptimisationMode::Full,
             coverage_threshold: 0.02,
             speculation: true,
@@ -161,6 +168,8 @@ pub struct JanusReport {
     pub native: RunResult,
     /// Execution under the DBM with the generated rewrite schedule.
     pub parallel: DbmRunResult,
+    /// The execution backend the parallel run used.
+    pub backend: BackendKind,
     /// Loop ids that were selected for parallelisation.
     pub selected_loops: Vec<usize>,
     /// The subset of `selected_loops` scheduled for iteration-level
@@ -206,6 +215,29 @@ impl JanusReport {
     #[must_use]
     pub fn spec_abort_rate(&self) -> f64 {
         self.parallel.stats.spec_abort_rate()
+    }
+
+    /// Largest number of OS worker threads any parallel-loop invocation
+    /// spawned (0 under the virtual-time backend — its parallelism is
+    /// modelled, not physical).
+    #[must_use]
+    pub fn os_threads_used(&self) -> u64 {
+        self.parallel.stats.os_threads_used
+    }
+
+    /// Wall-clock seconds of the parallel run (whole DBM dispatch loop).
+    /// Host-dependent, unlike the modelled [`JanusReport::speedup`]; use it
+    /// to compare backends on the same machine.
+    #[must_use]
+    pub fn wall_seconds(&self) -> f64 {
+        self.parallel.wall_nanos as f64 / 1e9
+    }
+
+    /// Wall-clock seconds spent inside parallel regions (chunk batches and
+    /// speculative invocations). 0 under the virtual-time backend.
+    #[must_use]
+    pub fn parallel_wall_seconds(&self) -> f64 {
+        self.parallel.stats.parallel_wall_nanos as f64 / 1e9
     }
 }
 
@@ -432,6 +464,7 @@ impl Janus {
         // Parallel execution under the DBM.
         let dbm_config = DbmConfig {
             threads: self.config.threads,
+            backend: self.config.backend,
             enable_runtime_checks: self.config.mode.uses_runtime_checks(),
             enable_speculation: self.config.speculation && self.config.dbm.enable_speculation,
             ..self.config.dbm
@@ -455,6 +488,7 @@ impl Janus {
         Ok(JanusReport {
             native,
             parallel,
+            backend: self.config.backend,
             selected_loops: selected,
             speculative_loops,
             schedule_size: schedule.byte_size(),

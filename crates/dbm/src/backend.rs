@@ -1,0 +1,629 @@
+//! The execution-backend layer: how planned parallel-loop chunks actually
+//! run.
+//!
+//! [`crate::Dbm`] plans a parallel-loop invocation — iteration counting,
+//! chunking, per-chunk register contexts, private stack frames, bounds
+//! checks — without committing to an execution substrate. The plan is then
+//! handed to an [`ExecutionBackend`]:
+//!
+//! * [`VirtualTimeBackend`] executes the chunks one after another on the
+//!   coordinating thread against the shared guest memory, exactly as the
+//!   original virtual-time runtime did. Deterministic and bit-reproducible.
+//! * [`NativeThreadsBackend`] spawns one OS thread per chunk. Each worker
+//!   executes against a [`CowMemory`] view (shared read-only base image plus
+//!   a private byte-masked write overlay) and records its block executions
+//!   for deferred accounting; after the workers join, overlays and counters
+//!   are merged back in chunk order, reproducing the virtual-time backend's
+//!   memory image while the work itself ran concurrently. Loops whose
+//!   schedule carries `TX_START` rules (STM-wrapped shared-library calls —
+//!   potential cross-chunk dependences by definition) conservatively take
+//!   the sequential chunk path instead.
+//!
+//! Both backends charge modelled cycles through the same worker-lane
+//! abstraction ([`janus_spec::LaneSet`]) that the speculation engine uses,
+//! so reported cycle counts are deterministic and comparable regardless of
+//! where the chunks physically ran. The speculative (`SPECULATE`) path is
+//! also routed through the trait: both backends currently drive the
+//! deterministic `janus-spec` engine on the coordinating thread (the
+//! native-threads backend additionally measures wall-clock time for it).
+
+use crate::runtime::LoopRt;
+use crate::{DbmConfig, DbmError, Result};
+use janus_spec::{IterationRun, LaneSet, Lanes, SpecConfig, SpecError, SpecOutcome, SpecView};
+use janus_vm::{CowMemory, Cpu, FlatMemory, OverlayWrite, Process};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::time::Instant;
+
+/// Selects which [`ExecutionBackend`] runs parallel-loop chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Deterministic virtual-time simulation: chunks run sequentially on the
+    /// coordinating thread, parallelism exists only in the modelled clock.
+    #[default]
+    VirtualTime,
+    /// Real OS-thread execution: chunks run concurrently on `std::thread`
+    /// workers over copy-on-write memory views.
+    NativeThreads,
+}
+
+impl BackendKind {
+    /// Parses a backend name as used by CLI flags and the `JANUS_BACKEND`
+    /// environment variable.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "virtual" | "virtual-time" | "vt" | "sim" => Some(BackendKind::VirtualTime),
+            "native" | "native-threads" | "threads" | "os" => Some(BackendKind::NativeThreads),
+            _ => None,
+        }
+    }
+
+    /// The backend selected by the `JANUS_BACKEND` environment variable, or
+    /// the default (virtual-time) when unset or unrecognised.
+    #[must_use]
+    pub fn from_env() -> BackendKind {
+        std::env::var("JANUS_BACKEND")
+            .ok()
+            .and_then(|v| BackendKind::parse(&v))
+            .unwrap_or_default()
+    }
+
+    /// Stable machine-readable name (also accepted by [`BackendKind::parse`]).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::VirtualTime => "virtual",
+            BackendKind::NativeThreads => "native",
+        }
+    }
+
+    /// The (stateless, shared) backend implementation for this kind.
+    #[must_use]
+    pub fn backend(self) -> &'static dyn ExecutionBackend {
+        match self {
+            BackendKind::VirtualTime => &VirtualTimeBackend,
+            BackendKind::NativeThreads => &NativeThreadsBackend,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Code-cache model state: which block entry addresses have been translated
+/// and how often each has been dispatched. Shared by the main thread's
+/// dispatch loop and (directly, or via per-worker clones) by chunk execution.
+#[derive(Debug, Clone, Default)]
+pub struct CodeCache {
+    translated: HashSet<u64>,
+    exec_counts: HashMap<u64, u64>,
+}
+
+impl CodeCache {
+    /// Fresh, empty cache.
+    #[must_use]
+    pub(crate) fn new() -> CodeCache {
+        CodeCache::default()
+    }
+
+    /// Records one execution of the block at `pc` and returns
+    /// `(overhead_cycles, newly_translated)` per the code-cache cost model:
+    /// a translation cost the first time the block is reached and a dispatch
+    /// cost until it has run often enough to be linked into a trace.
+    pub(crate) fn account_block(&mut self, pc: u64, config: &DbmConfig) -> (u64, bool) {
+        let count = self.exec_counts.entry(pc).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let mut overhead = 0;
+        let newly_translated = self.translated.insert(pc);
+        if newly_translated {
+            overhead += config.translation_cost;
+        }
+        if count <= config.link_threshold {
+            overhead += config.dispatch_cost;
+        }
+        (overhead, newly_translated)
+    }
+
+    /// Records `executions` executions of the block at `pc` in one step and
+    /// returns the same `(overhead_cycles, newly_translated)` total that
+    /// `executions` individual [`CodeCache::account_block`] calls would have
+    /// produced: the per-execution charge depends only on the running count,
+    /// so a batch can be replayed after the fact. This is how worker threads'
+    /// deferred execution counts are folded back — in chunk order — so the
+    /// native-threads backend charges exactly what the virtual-time backend
+    /// charges.
+    pub(crate) fn charge_executions(
+        &mut self,
+        pc: u64,
+        executions: u64,
+        config: &DbmConfig,
+    ) -> (u64, bool) {
+        let count = self.exec_counts.entry(pc).or_insert(0);
+        let before = *count;
+        *count += executions;
+        let mut overhead = 0;
+        let newly_translated = executions > 0 && self.translated.insert(pc);
+        if newly_translated {
+            overhead += config.translation_cost;
+        }
+        let dispatched = config.link_threshold.saturating_sub(before).min(executions);
+        overhead += config.dispatch_cost * dispatched;
+        (overhead, newly_translated)
+    }
+}
+
+/// How chunk execution accounts basic-block executions against the code
+/// cache: immediately against the shared cache (virtual time — chunks run
+/// sequentially, so the cache is free), or deferred into a private count map
+/// that the coordinator replays in chunk order after the workers join
+/// (native threads). Both roads produce identical charge totals.
+pub(crate) trait BlockAccounting {
+    /// Records one execution of the block at `pc`.
+    fn record(&mut self, pc: u64, config: &DbmConfig, fx: &mut ChunkSideEffects);
+}
+
+/// Immediate accounting against the shared [`CodeCache`].
+pub(crate) struct LiveAccounting<'a>(pub(crate) &'a mut CodeCache);
+
+impl BlockAccounting for LiveAccounting<'_> {
+    fn record(&mut self, pc: u64, config: &DbmConfig, fx: &mut ChunkSideEffects) {
+        let (overhead, newly_translated) = self.0.account_block(pc, config);
+        if newly_translated {
+            fx.blocks_translated += 1;
+        }
+        fx.block_executions += 1;
+        fx.translation_cycles += overhead;
+    }
+}
+
+/// Deferred accounting: per-block execution counts only, charged later by
+/// [`CodeCache::charge_executions`].
+#[derive(Debug, Default)]
+pub(crate) struct DeferredAccounting {
+    counts: HashMap<u64, u64>,
+}
+
+impl BlockAccounting for DeferredAccounting {
+    fn record(&mut self, pc: u64, _config: &DbmConfig, _fx: &mut ChunkSideEffects) {
+        *self.counts.entry(pc).or_insert(0) += 1;
+    }
+}
+
+impl DeferredAccounting {
+    /// Replays the recorded executions against the shared cache, folding the
+    /// charges into `fx`. Iterates in address order for full determinism
+    /// (the totals are order-independent anyway — distinct blocks have
+    /// independent counters).
+    fn replay(self, cache: &mut CodeCache, config: &DbmConfig, fx: &mut ChunkSideEffects) {
+        let mut counts: Vec<(u64, u64)> = self.counts.into_iter().collect();
+        counts.sort_unstable();
+        for (pc, executions) in counts {
+            let (overhead, newly_translated) = cache.charge_executions(pc, executions, config);
+            if newly_translated {
+                fx.blocks_translated += 1;
+            }
+            fx.block_executions += executions;
+            fx.translation_cycles += overhead;
+        }
+    }
+}
+
+/// One planned chunk of a parallel-loop invocation: a prepared guest context
+/// (program counter at the loop header, redirected stack, thread-private
+/// induction value and reduction accumulators) plus the chunk's rewritten
+/// loop bound.
+#[derive(Debug, Clone)]
+pub struct ChunkPlan {
+    pub(crate) cpu: Cpu,
+    pub(crate) bound: i64,
+}
+
+/// What executing one chunk produced: the final guest context and the
+/// `LOOP_FINISH` address it stopped at.
+#[derive(Debug)]
+pub struct ChunkResult {
+    pub(crate) cpu: Cpu,
+    pub(crate) exit_pc: u64,
+}
+
+/// Side effects accumulated while executing chunks: guest output, code-cache
+/// accounting and STM counters. Collected per worker and merged in chunk
+/// order so the native-threads backend reproduces the virtual-time backend's
+/// output ordering.
+#[derive(Debug, Default)]
+pub struct ChunkSideEffects {
+    pub(crate) output_ints: Vec<i64>,
+    pub(crate) output_floats: Vec<f64>,
+    pub(crate) blocks_translated: u64,
+    pub(crate) block_executions: u64,
+    pub(crate) translation_cycles: u64,
+    pub(crate) stm_transactions: u64,
+    pub(crate) stm_aborts: u64,
+    pub(crate) stm_reads: u64,
+    pub(crate) stm_writes: u64,
+    pub(crate) stm_cycles: u64,
+}
+
+impl ChunkSideEffects {
+    fn absorb(&mut self, other: ChunkSideEffects) {
+        self.output_ints.extend(other.output_ints);
+        self.output_floats.extend(other.output_floats);
+        self.blocks_translated += other.blocks_translated;
+        self.block_executions += other.block_executions;
+        self.translation_cycles += other.translation_cycles;
+        self.stm_transactions += other.stm_transactions;
+        self.stm_aborts += other.stm_aborts;
+        self.stm_reads += other.stm_reads;
+        self.stm_writes += other.stm_writes;
+        self.stm_cycles += other.stm_cycles;
+    }
+}
+
+/// Everything chunk execution needs to read: the loaded process, the loop's
+/// runtime metadata and the DBM configuration. All borrows are immutable, so
+/// a context can be shared across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkContext<'a> {
+    pub(crate) process: &'a Process,
+    pub(crate) lr: &'a LoopRt,
+    pub(crate) config: &'a DbmConfig,
+}
+
+/// The result of executing one batch of chunks.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-chunk results, in chunk order.
+    pub(crate) results: Vec<ChunkResult>,
+    /// Merged side effects, in chunk order.
+    pub(crate) effects: ChunkSideEffects,
+    /// Modelled parallel cycles of the batch: each chunk's cycle count
+    /// charged to the least-loaded of `threads` worker lanes, makespan
+    /// reported. Identical across backends because chunk cycle counts do not
+    /// depend on where the chunk ran.
+    pub parallel_cycles: u64,
+    /// Wall-clock nanoseconds the batch took (0 under virtual time).
+    pub wall_nanos: u64,
+    /// OS worker threads spawned for the batch (0 under virtual time).
+    pub os_threads: u64,
+}
+
+/// What a routed speculative invocation returned, plus its wall-clock cost.
+pub struct SpecInvocationOutcome {
+    pub(crate) result: std::result::Result<SpecOutcome<(Cpu, u64)>, SpecError<DbmError>>,
+    /// Wall-clock nanoseconds of the invocation (0 under virtual time).
+    pub wall_nanos: u64,
+}
+
+impl fmt::Debug for SpecInvocationOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecInvocationOutcome")
+            .field("ok", &self.result.is_ok())
+            .field("wall_nanos", &self.wall_nanos)
+            .finish()
+    }
+}
+
+/// The loop body driven by the speculation engine for one iteration.
+pub type SpecBody<'a> =
+    &'a mut dyn FnMut(
+        usize,
+        &mut SpecView<'_, FlatMemory>,
+    ) -> std::result::Result<IterationRun<(Cpu, u64)>, DbmError>;
+
+mod sealed {
+    /// The backend set is closed: plans and results carry crate-private
+    /// execution state, so external implementations could not construct or
+    /// consume them meaningfully.
+    pub trait Sealed {}
+    impl Sealed for super::VirtualTimeBackend {}
+    impl Sealed for super::NativeThreadsBackend {}
+}
+
+/// An execution substrate for planned parallel-loop work.
+///
+/// Implementations differ in *where* guest chunks run (inline vs. on OS
+/// worker threads) and in what they can measure (modelled cycles only vs.
+/// modelled cycles plus wall-clock time); they must agree on the resulting
+/// guest memory image and program output. This trait is sealed — the two
+/// implementations ship with the crate and are selected via
+/// [`BackendKind::backend`] / [`DbmConfig::backend`](crate::DbmConfig).
+pub trait ExecutionBackend: fmt::Debug + Send + Sync + sealed::Sealed {
+    /// Which kind this backend is.
+    fn kind(&self) -> BackendKind;
+
+    /// Executes the planned chunks of one parallel-loop invocation and
+    /// merges all memory effects into `mem` and all code-cache effects into
+    /// `cache` before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing chunk's error, in chunk order.
+    fn run_chunks(
+        &self,
+        ctx: &ChunkContext<'_>,
+        plans: &[ChunkPlan],
+        mem: &mut FlatMemory,
+        cache: &mut CodeCache,
+    ) -> Result<BatchOutcome>;
+
+    /// Runs one speculative (`SPECULATE`) loop invocation through the
+    /// `janus-spec` engine.
+    fn run_speculative_invocation(
+        &self,
+        spec_config: &SpecConfig,
+        base: &mut FlatMemory,
+        iterations: usize,
+        body: SpecBody<'_>,
+    ) -> SpecInvocationOutcome;
+}
+
+/// Charges each chunk's cycles to the least-loaded worker lane and returns
+/// the makespan — the one modelled-time code path shared by both backends
+/// (and, via [`LaneSet`], with the speculation engine).
+fn modelled_parallel_cycles(threads: u32, results: &[ChunkResult]) -> u64 {
+    let mut lanes = Lanes::new(threads.max(1));
+    for r in results {
+        LaneSet::charge(&mut lanes, r.cpu.cycles);
+    }
+    LaneSet::makespan(&lanes)
+}
+
+/// The deterministic virtual-time backend: chunks execute sequentially on
+/// the coordinating thread against shared guest memory and the shared code
+/// cache; only the modelled clock is parallel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualTimeBackend;
+
+impl ExecutionBackend for VirtualTimeBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::VirtualTime
+    }
+
+    fn run_chunks(
+        &self,
+        ctx: &ChunkContext<'_>,
+        plans: &[ChunkPlan],
+        mem: &mut FlatMemory,
+        cache: &mut CodeCache,
+    ) -> Result<BatchOutcome> {
+        let mut results = Vec::with_capacity(plans.len());
+        let mut effects = ChunkSideEffects::default();
+        for plan in plans {
+            let mut cpu = plan.cpu.clone();
+            let mut accounting = LiveAccounting(cache);
+            let exit_pc = crate::runtime::run_chunk(
+                ctx,
+                &mut cpu,
+                mem,
+                &mut accounting,
+                plan.bound,
+                &mut effects,
+            )?;
+            results.push(ChunkResult { cpu, exit_pc });
+        }
+        let parallel_cycles = modelled_parallel_cycles(ctx.config.threads, &results);
+        Ok(BatchOutcome {
+            results,
+            effects,
+            parallel_cycles,
+            wall_nanos: 0,
+            os_threads: 0,
+        })
+    }
+
+    fn run_speculative_invocation(
+        &self,
+        spec_config: &SpecConfig,
+        base: &mut FlatMemory,
+        iterations: usize,
+        body: SpecBody<'_>,
+    ) -> SpecInvocationOutcome {
+        let result = janus_spec::run_speculative_with_lanes(
+            spec_config,
+            Lanes::new(spec_config.lanes),
+            base,
+            iterations,
+            body,
+        );
+        SpecInvocationOutcome {
+            result,
+            wall_nanos: 0,
+        }
+    }
+}
+
+/// The native-threads backend: one OS worker thread per chunk, copy-on-write
+/// memory views, merge-in-chunk-order. Modelled cycles are reported through
+/// the same lane accounting as the virtual-time backend, wall-clock time and
+/// thread counts on top.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NativeThreadsBackend;
+
+impl ExecutionBackend for NativeThreadsBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::NativeThreads
+    }
+
+    fn run_chunks(
+        &self,
+        ctx: &ChunkContext<'_>,
+        plans: &[ChunkPlan],
+        mem: &mut FlatMemory,
+        cache: &mut CodeCache,
+    ) -> Result<BatchOutcome> {
+        type WorkerOut = Result<(
+            Cpu,
+            u64,
+            Vec<OverlayWrite>,
+            ChunkSideEffects,
+            DeferredAccounting,
+        )>;
+        // STM-wrapped shared-library calls may carry real cross-chunk
+        // read-after-write dependences (that is exactly why they run under a
+        // transaction). Snapshot isolation cannot reproduce the sequential
+        // chunk order the virtual-time backend commits in, so such batches
+        // conservatively run through the sequential chunk path — identical
+        // guest results by construction, no OS-thread fan-out for this loop.
+        if !ctx.lr.tx_calls.is_empty() {
+            let start = Instant::now();
+            let mut batch = VirtualTimeBackend.run_chunks(ctx, plans, mem, cache)?;
+            batch.wall_nanos = start.elapsed().as_nanos() as u64;
+            return Ok(batch);
+        }
+        let start = Instant::now();
+        let base: &FlatMemory = mem;
+        let worker_outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let handles: Vec<_> = plans
+                .iter()
+                .map(|plan| {
+                    scope.spawn(move || -> WorkerOut {
+                        let mut overlay = CowMemory::new(base);
+                        let mut accounting = DeferredAccounting::default();
+                        let mut effects = ChunkSideEffects::default();
+                        let mut cpu = plan.cpu.clone();
+                        let exit_pc = crate::runtime::run_chunk(
+                            ctx,
+                            &mut cpu,
+                            &mut overlay,
+                            &mut accounting,
+                            plan.bound,
+                            &mut effects,
+                        )?;
+                        Ok((cpu, exit_pc, overlay.into_writes(), effects, accounting))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+
+        // Merge in chunk order: dirty bytes splice over the shared image
+        // (later chunks win on whole-byte overlaps, which a legal DOALL
+        // cannot produce) and code-cache charges replay sequentially,
+        // matching the sequential chunk order — and therefore the exact
+        // cycle totals — of the virtual-time backend.
+        let mut results = Vec::with_capacity(plans.len());
+        let mut effects = ChunkSideEffects::default();
+        for out in worker_outs {
+            let (cpu, exit_pc, writes, chunk_effects, accounting) = out?;
+            CowMemory::apply_writes(mem, &writes);
+            effects.absorb(chunk_effects);
+            accounting.replay(cache, ctx.config, &mut effects);
+            results.push(ChunkResult { cpu, exit_pc });
+        }
+        let parallel_cycles = modelled_parallel_cycles(ctx.config.threads, &results);
+        Ok(BatchOutcome {
+            results,
+            effects,
+            parallel_cycles,
+            wall_nanos: start.elapsed().as_nanos() as u64,
+            os_threads: plans.len() as u64,
+        })
+    }
+
+    fn run_speculative_invocation(
+        &self,
+        spec_config: &SpecConfig,
+        base: &mut FlatMemory,
+        iterations: usize,
+        body: SpecBody<'_>,
+    ) -> SpecInvocationOutcome {
+        // The multi-version engine is single-coordinator by construction;
+        // driving it exactly as the virtual-time backend does keeps
+        // speculative results identical across backends, while the wall
+        // clock records what the invocation cost. Fanning incarnation
+        // execution out across OS threads is the next step on the roadmap.
+        let start = Instant::now();
+        let mut outcome =
+            VirtualTimeBackend.run_speculative_invocation(spec_config, base, iterations, body);
+        outcome.wall_nanos = start.elapsed().as_nanos() as u64;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_parses_labels_and_aliases() {
+        for kind in [BackendKind::VirtualTime, BackendKind::NativeThreads] {
+            assert_eq!(BackendKind::parse(kind.label()), Some(kind));
+            assert_eq!(kind.backend().kind(), kind);
+        }
+        assert_eq!(
+            BackendKind::parse("Native-Threads"),
+            Some(BackendKind::NativeThreads)
+        );
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::VirtualTime));
+        assert_eq!(BackendKind::parse("gpu"), None);
+        assert_eq!(BackendKind::default(), BackendKind::VirtualTime);
+        assert_eq!(BackendKind::NativeThreads.to_string(), "native");
+    }
+
+    #[test]
+    fn code_cache_charges_translation_once_and_dispatch_until_linked() {
+        let config = DbmConfig {
+            translation_cost: 100,
+            dispatch_cost: 7,
+            link_threshold: 2,
+            ..DbmConfig::default()
+        };
+        let mut cache = CodeCache::new();
+        assert_eq!(cache.account_block(0x40, &config), (107, true));
+        assert_eq!(cache.account_block(0x40, &config), (7, false));
+        assert_eq!(cache.account_block(0x40, &config), (0, false), "linked");
+    }
+
+    #[test]
+    fn batched_charges_equal_per_execution_charges() {
+        let config = DbmConfig {
+            translation_cost: 100,
+            dispatch_cost: 7,
+            link_threshold: 5,
+            ..DbmConfig::default()
+        };
+        // Replaying a batch must charge exactly what the same executions
+        // charged one at a time — including the partially-linked window.
+        for (warmup, batch) in [(0u64, 3u64), (2, 9), (5, 4), (9, 2)] {
+            let mut live = CodeCache::new();
+            for _ in 0..warmup {
+                let _ = live.account_block(0x40, &config);
+            }
+            let mut replayed = live.clone();
+            let mut per_exec = 0;
+            for _ in 0..batch {
+                per_exec += live.account_block(0x40, &config).0;
+            }
+            let (batched, _) = replayed.charge_executions(0x40, batch, &config);
+            assert_eq!(batched, per_exec, "warmup {warmup}, batch {batch}");
+            assert_eq!(replayed.exec_counts[&0x40], live.exec_counts[&0x40]);
+        }
+    }
+
+    #[test]
+    fn modelled_cycles_take_the_lane_makespan() {
+        let results: Vec<ChunkResult> = [300u64, 100, 200]
+            .iter()
+            .map(|&cycles| {
+                let mut cpu = Cpu::new();
+                cpu.cycles = cycles;
+                ChunkResult { cpu, exit_pc: 0 }
+            })
+            .collect();
+        // Three chunks over three lanes: makespan is the largest chunk.
+        assert_eq!(modelled_parallel_cycles(3, &results), 300);
+        // One lane: everything serialises.
+        assert_eq!(modelled_parallel_cycles(1, &results), 600);
+    }
+}

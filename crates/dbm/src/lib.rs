@@ -23,32 +23,121 @@
 //!   discovered code (shared-library calls) in value-validated transactions,
 //!   exactly as Janus does for the `pow` call in bwaves.
 //!
-//! ## Virtual-time parallelism
+//! ## Execution backends
 //!
-//! The evaluation host has a single CPU core, so the runtime executes guest
-//! threads deterministically, one chunk after another, and reports *virtual*
-//! parallel time: the maximum of the per-thread cycle counts plus the
-//! modelled init/finish overheads. All shared-memory effects are real (the
-//! threads operate on the same guest address space); only the notion of time
-//! is simulated. The resulting [`CycleBreakdown`] is what Figures 7, 8, 9,
-//! 11 and 12 are built from.
+//! Chunk execution is routed through the [`ExecutionBackend`] trait, selected
+//! by [`DbmConfig::backend`]:
+//!
+//! * [`VirtualTimeBackend`] (the default) executes chunks deterministically,
+//!   one after another on the coordinating thread, and reports *virtual*
+//!   parallel time: each chunk's cycle count is charged to the least-loaded
+//!   of `threads` modelled worker lanes ([`janus_spec::LaneSet`]) and the
+//!   busiest lane's clock is the invocation's parallel time. All
+//!   shared-memory effects are real (the chunks operate on the same guest
+//!   address space); only the notion of time is simulated. This backend is
+//!   bit-reproducible across runs and machines — it is what Figures 7, 8, 9,
+//!   11 and 12 are built from.
+//! * [`NativeThreadsBackend`] runs the chunks of each parallel-loop
+//!   invocation on real `std::thread` workers. Every chunk executes against a
+//!   [`janus_vm::CowMemory`] view — a private write overlay over the shared
+//!   read-only memory image — and the overlays are merged back in chunk order
+//!   after the workers join, which reproduces the exact memory image the
+//!   virtual-time backend produces. Modelled cycles are charged through the
+//!   same worker-lane code path (so cycle counts remain deterministic and
+//!   comparable), while wall-clock time and the number of OS threads spawned
+//!   are additionally reported in [`DbmStats::parallel_wall_nanos`] and
+//!   [`DbmStats::os_threads_used`]. Speculative (`SPECULATE`) invocations and
+//!   the coordinating rewrite-rule interpreter still run on the main thread
+//!   in both backends; OS-thread fan-out applies to DOALL / dynamic-DOALL
+//!   chunk batches, except that loops whose schedule carries `TX_START`
+//!   rules (STM-wrapped shared-library calls, i.e. potential cross-chunk
+//!   dependences) conservatively take the sequential chunk path so guest
+//!   results stay identical by construction.
+//!
+//! Pick the virtual-time backend to reproduce the paper's figures, and the
+//! native-threads backend to exercise real parallel hardware (thread-scaling
+//! runs, wall-clock measurements). Both produce identical guest memory
+//! images and program outputs for every workload in the suite; the
+//! cross-backend equivalence test in `janus-core` asserts exactly that via
+//! [`DbmRunResult::memory_digest`].
+//!
+//! The resulting [`CycleBreakdown`] always carries modelled cycles;
+//! wall-clock measurements live beside it in [`DbmStats`] so virtual-time
+//! figures stay bit-identical regardless of backend availability.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod backend;
 mod runtime;
 mod stm;
 
+pub use backend::{
+    BackendKind, BatchOutcome, ExecutionBackend, NativeThreadsBackend, VirtualTimeBackend,
+};
 pub use runtime::{Dbm, DbmRunResult, SideSpec, VarSpec};
 pub use stm::TxStats;
 
 use std::fmt;
+
+/// Cost knobs of the just-in-time software transactional memory (the
+/// JudoSTM-style `TX_START`/`TX_FINISH` path wrapping shared-library calls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmCosts {
+    /// Extra cycles per speculative (transactional) memory read.
+    pub read: u64,
+    /// Extra cycles per speculative (transactional) memory write.
+    pub write: u64,
+    /// Cycles per buffered entry validated/committed at transaction end.
+    pub commit: u64,
+}
+
+impl Default for StmCosts {
+    fn default() -> Self {
+        StmCosts {
+            read: 8,
+            write: 14,
+            commit: 16,
+        }
+    }
+}
+
+/// Cost knobs of the Block-STM-style iteration-level speculation engine
+/// (`janus-spec`), plus its livelock guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecCosts {
+    /// Extra cycles per tracked read in a speculative (DOACROSS) iteration.
+    pub read: u64,
+    /// Extra cycles per buffered write in a speculative iteration.
+    pub write: u64,
+    /// Cycles per read-set entry re-resolved when an iteration validates.
+    pub validate: u64,
+    /// Cycles charged per speculative abort (estimate conversion, re-dispatch).
+    pub abort: u64,
+    /// Task budget multiplier before a speculative invocation gives up and
+    /// re-runs sequentially (livelock guard for densely dependent loops).
+    pub max_task_factor: u32,
+}
+
+impl Default for SpecCosts {
+    fn default() -> Self {
+        SpecCosts {
+            read: 6,
+            write: 10,
+            validate: 4,
+            abort: 60,
+            max_task_factor: 64,
+        }
+    }
+}
 
 /// Configuration of the dynamic binary modifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbmConfig {
     /// Number of guest threads used for parallelised loops.
     pub threads: u32,
+    /// Which [`ExecutionBackend`] runs parallel-loop chunks.
+    pub backend: BackendKind,
     /// Allow dynamic-DOALL loops: evaluate `MEM_BOUNDS_CHECK` rules and run
     /// shared-library calls under the STM. When `false`, only rules for
     /// statically proven loops are honoured.
@@ -76,23 +165,10 @@ pub struct DbmConfig {
     pub loop_finish_cost: u64,
     /// Cycles charged per array-bounds-check pair per loop invocation.
     pub bounds_check_cost: u64,
-    /// Extra cycles per speculative (transactional) memory read.
-    pub stm_read_cost: u64,
-    /// Extra cycles per speculative (transactional) memory write.
-    pub stm_write_cost: u64,
-    /// Cycles per buffered entry validated/committed at transaction end.
-    pub stm_commit_cost: u64,
-    /// Extra cycles per tracked read in a speculative (DOACROSS) iteration.
-    pub spec_read_cost: u64,
-    /// Extra cycles per buffered write in a speculative iteration.
-    pub spec_write_cost: u64,
-    /// Cycles per read-set entry re-resolved when an iteration validates.
-    pub spec_validate_cost: u64,
-    /// Cycles charged per speculative abort (estimate conversion, re-dispatch).
-    pub spec_abort_cost: u64,
-    /// Task budget multiplier before a speculative invocation gives up and
-    /// re-runs sequentially (livelock guard for densely dependent loops).
-    pub spec_max_task_factor: u32,
+    /// Cost knobs of the shared-library-call STM.
+    pub stm: StmCosts,
+    /// Cost knobs of the iteration-level speculation engine.
+    pub spec: SpecCosts,
     /// Minimum iterations per thread below which a loop invocation is run
     /// sequentially (parallelisation would not be profitable).
     pub min_iterations_per_thread: u64,
@@ -101,9 +177,13 @@ pub struct DbmConfig {
 }
 
 impl Default for DbmConfig {
+    /// The default configuration. The backend honours the `JANUS_BACKEND`
+    /// environment variable (`virtual` / `native`) so a whole test or bench
+    /// run can be switched without code changes; everything else is fixed.
     fn default() -> Self {
         DbmConfig {
             threads: 8,
+            backend: BackendKind::from_env(),
             enable_runtime_checks: true,
             enable_speculation: true,
             translation_cost: 350,
@@ -113,14 +193,8 @@ impl Default for DbmConfig {
             loop_init_cost: 2_200,
             loop_finish_cost: 1_400,
             bounds_check_cost: 35,
-            stm_read_cost: 8,
-            stm_write_cost: 14,
-            stm_commit_cost: 16,
-            spec_read_cost: 6,
-            spec_write_cost: 10,
-            spec_validate_cost: 4,
-            spec_abort_cost: 60,
-            spec_max_task_factor: 64,
+            stm: StmCosts::default(),
+            spec: SpecCosts::default(),
             min_iterations_per_thread: 1,
             cycle_limit: 200_000_000_000,
         }
@@ -133,6 +207,16 @@ impl DbmConfig {
     pub fn with_threads(threads: u32) -> DbmConfig {
         DbmConfig {
             threads,
+            ..DbmConfig::default()
+        }
+    }
+
+    /// A configuration with an explicit execution backend and defaults
+    /// otherwise.
+    #[must_use]
+    pub fn with_backend(backend: BackendKind) -> DbmConfig {
+        DbmConfig {
+            backend,
             ..DbmConfig::default()
         }
     }
@@ -245,6 +329,17 @@ pub struct DbmStats {
     pub spec_reads: u64,
     /// Word writes buffered by the speculation engine's multi-version views.
     pub spec_writes: u64,
+    /// Largest number of OS worker threads spawned for any single
+    /// parallel-loop invocation. Stays at 0 under the virtual-time backend
+    /// (and for runs with no parallel invocations); a value above 1 is the
+    /// observable proof that the native-threads backend fanned work out
+    /// across real threads.
+    pub os_threads_used: u64,
+    /// Wall-clock nanoseconds spent inside parallel-region execution
+    /// (chunk batches and speculative invocations), summed over invocations.
+    /// Only the native-threads backend measures this; the virtual-time
+    /// backend reports 0 so its output stays bit-reproducible.
+    pub parallel_wall_nanos: u64,
 }
 
 impl DbmStats {
@@ -337,6 +432,22 @@ mod tests {
         assert!(c.enable_runtime_checks);
         assert!(c.translation_cost > c.dispatch_cost);
         assert_eq!(DbmConfig::with_threads(4).threads, 4);
+        assert_eq!(
+            DbmConfig::with_backend(BackendKind::NativeThreads).backend,
+            BackendKind::NativeThreads
+        );
+        // The grouped cost structs carry the historical default values.
+        assert_eq!((c.stm.read, c.stm.write, c.stm.commit), (8, 14, 16));
+        assert_eq!(
+            (
+                c.spec.read,
+                c.spec.write,
+                c.spec.validate,
+                c.spec.abort,
+                c.spec.max_task_factor
+            ),
+            (6, 10, 4, 60, 64)
+        );
     }
 
     #[test]

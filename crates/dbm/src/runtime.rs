@@ -1,11 +1,16 @@
-//! The rewrite-rule-driven execution engine.
+//! The rewrite-rule-driven execution engine: rule decoding, parallel-loop
+//! *planning* (chunking, context forking, bounds checks) and the merge of
+//! chunk results back into the main thread. The *execution* of planned
+//! chunks lives behind [`crate::ExecutionBackend`] in `backend.rs`.
 
+use crate::backend::{BlockAccounting, ChunkContext, ChunkPlan, ChunkSideEffects, CodeCache};
 use crate::stm::TxView;
 use crate::{DbmConfig, DbmError, DbmStats, Result};
 use janus_ir::{Inst, Operand, Reg, SyscallNum, INST_SIZE, STACK_SIZE};
 use janus_schedule::{RewriteSchedule, RuleId, RuleIndex};
 use janus_vm::{exec_inst, Cpu, Effect, FlatMemory, GuestMemory, Process, ResolvedPlt};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::Instant;
 
 /// How a scalar variable location is encoded inside rewrite-rule data words.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,19 +132,19 @@ impl SideSpec {
 
 /// Per-loop runtime information derived from the rewrite schedule.
 #[derive(Debug, Clone, Default)]
-struct LoopRt {
-    header: u64,
-    induction: Option<VarSpec>,
-    step: i64,
-    bound_cmp_addr: u64,
-    continue_cond: i64,
-    finish_addrs: HashSet<u64>,
-    reductions: Vec<(VarSpec, i64 /*op*/, bool /*float*/)>,
-    bounds_pairs: Vec<(SideSpec, SideSpec)>,
-    tx_calls: HashSet<u64>,
+pub(crate) struct LoopRt {
+    pub(crate) header: u64,
+    pub(crate) induction: Option<VarSpec>,
+    pub(crate) step: i64,
+    pub(crate) bound_cmp_addr: u64,
+    pub(crate) continue_cond: i64,
+    pub(crate) finish_addrs: HashSet<u64>,
+    pub(crate) reductions: Vec<(VarSpec, i64 /*op*/, bool /*float*/)>,
+    pub(crate) bounds_pairs: Vec<(SideSpec, SideSpec)>,
+    pub(crate) tx_calls: HashSet<u64>,
     /// `SPECULATE`: run invocations of this loop under the iteration-level
     /// speculation engine instead of chunked DOALL execution.
-    speculative: bool,
+    pub(crate) speculative: bool,
 }
 
 /// The result of running a binary under the dynamic binary modifier.
@@ -155,6 +160,14 @@ pub struct DbmRunResult {
     pub output_ints: Vec<i64>,
     /// Floats written by the guest.
     pub output_floats: Vec<f64>,
+    /// Wall-clock nanoseconds of the whole run (dispatch loop included).
+    /// Unlike `cycles`, this depends on the host machine and is only
+    /// meaningful for comparing backends on the same host.
+    pub wall_nanos: u64,
+    /// Digest of the final guest memory image
+    /// ([`FlatMemory::image_digest`]). Equal across execution backends for
+    /// the same program and input — the cross-backend equivalence anchor.
+    pub memory_digest: u64,
 }
 
 impl DbmRunResult {
@@ -177,8 +190,7 @@ pub struct Dbm {
     mem: FlatMemory,
     main: Cpu,
     stats: DbmStats,
-    translated: HashSet<u64>,
-    exec_counts: HashMap<u64, u64>,
+    cache: CodeCache,
     active_sequential: HashSet<usize>,
     heap_brk: u64,
     output_ints: Vec<i64>,
@@ -243,8 +255,7 @@ impl Dbm {
             mem,
             main,
             stats: DbmStats::default(),
-            translated: HashSet::new(),
-            exec_counts: HashMap::new(),
+            cache: CodeCache::new(),
             active_sequential: HashSet::new(),
             heap_brk,
             output_ints: Vec::new(),
@@ -272,6 +283,7 @@ impl Dbm {
     /// Returns an error if guest execution faults or the cycle limit is
     /// exceeded.
     pub fn run(mut self) -> Result<DbmRunResult> {
+        let wall_start = Instant::now();
         loop {
             let total = self.main.cycles;
             if total > self.config.cycle_limit {
@@ -312,7 +324,7 @@ impl Dbm {
                 }
             }
 
-            self.account_block(pc, true);
+            self.account_block(pc);
             let inst = self.process.inst_at(pc)?.clone();
             let next_pc = pc + INST_SIZE as u64;
             let seq_before = self.main.cycles;
@@ -340,41 +352,28 @@ impl Dbm {
             stats: self.stats,
             output_ints: self.output_ints,
             output_floats: self.output_floats,
+            wall_nanos: wall_start.elapsed().as_nanos() as u64,
+            memory_digest: self.mem.image_digest(),
         })
     }
 
-    /// Charges code-cache costs when a block at `pc` starts executing.
-    fn account_block(&mut self, pc: u64, charge_to_main: bool) {
+    /// Charges code-cache costs when a block at `pc` starts executing on the
+    /// main thread. (Chunk execution does the same through its
+    /// [`ChunkSideEffects`].)
+    fn account_block(&mut self, pc: u64) {
         // A "block" is approximated by its entry address: the first time it is
         // reached it must be translated; until it is hot it pays a dispatch
         // penalty on every execution.
-        let is_block_entry = !self.exec_counts.contains_key(&pc) || self.index.contains(pc);
-        let count = self.exec_counts.entry(pc).or_insert(0);
-        *count += 1;
-        let count = *count;
-        let _ = is_block_entry;
-        let mut overhead = 0;
-        if self.translated.insert(pc) {
+        let (overhead, newly_translated) = self.cache.account_block(pc, &self.config);
+        if newly_translated {
             self.stats.blocks_translated += 1;
-            overhead += self.config.translation_cost;
-        }
-        if count <= self.config.link_threshold {
-            overhead += self.config.dispatch_cost;
         }
         self.stats.block_executions += 1;
         self.stats.breakdown.translation += overhead;
-        if charge_to_main {
-            // Overheads advance main's own notion of time as well so that the
-            // cycle-limit guard still applies.
-            self.main.cycles += 0;
-        }
     }
 
     fn charge_indirect(&mut self, inst: &Inst) {
-        if matches!(
-            inst,
-            Inst::JmpInd { .. } | Inst::CallInd { .. } | Inst::CallExt { .. } | Inst::Ret
-        ) {
+        if needs_indirect_lookup(inst) {
             self.stats.breakdown.translation += self.config.indirect_lookup_cost;
         }
     }
@@ -531,9 +530,15 @@ impl Dbm {
             return Ok(false);
         }
 
-        // Split the iteration space into contiguous chunks.
+        // Plan: split the iteration space into contiguous chunks and fork a
+        // guest context per chunk — a copy of the main context with a private
+        // stack holding a copy of the main frame, the chunk's induction start
+        // and privatised reduction accumulators.
         self.stats.parallel_invocations += 1;
-        let chunk = (iterations + threads - 1) / threads;
+        // Iteration and thread counts are positive here, so the unsigned
+        // `div_ceil` (stable, unlike the signed one) applies.
+        let chunk = (iterations as u64).div_ceil(threads as u64) as i64;
+        let num_chunks = (iterations as u64).div_ceil(chunk as u64) as usize;
         let main_fp = self.main.read_gpr(Reg::FP) as u64;
         let main_sp = self.main.sp();
         let frame_lo = main_sp.saturating_sub(256);
@@ -542,32 +547,13 @@ impl Dbm {
             .mem
             .read_bytes(frame_lo, (frame_hi - frame_lo) as usize);
 
-        let mut thread_cpus: Vec<Cpu> = Vec::new();
-        let mut exit_pc = None;
-        let mut max_thread_cycles = 0u64;
-        let mut reduction_totals: Vec<i64> = lr
-            .reductions
-            .iter()
-            .map(
-                |(_var, _, is_float)| {
-                    if *is_float {
-                        0f64.to_bits() as i64
-                    } else {
-                        0
-                    }
-                },
-            )
-            .collect();
-
-        let num_chunks = ((iterations + chunk - 1) / chunk) as usize;
+        let mut plans: Vec<ChunkPlan> = Vec::with_capacity(num_chunks);
         for t in 0..num_chunks {
             let chunk_start_iter = t as i64 * chunk;
             let chunk_end_iter = ((t as i64 + 1) * chunk).min(iterations);
             let thread_start = start + chunk_start_iter * lr.step;
             let thread_end = start + chunk_end_iter * lr.step;
 
-            // Build the thread context: copy of the main context with a
-            // private stack holding a copy of the main frame.
             let mut cpu = self.main.clone();
             cpu.cycles = 0;
             cpu.retired = 0;
@@ -593,20 +579,52 @@ impl Dbm {
                 }
             }
             self.stats.breakdown.init_finish += self.config.loop_init_cost;
-
             cpu.pc = lr.header;
-            let stopped_at = self.run_thread(&mut cpu, &lr, thread_bound)?;
-            exit_pc = Some(stopped_at);
-            max_thread_cycles = max_thread_cycles.max(cpu.cycles);
-            self.stats.retired += cpu.retired;
-            self.stats.breakdown.init_finish += self.config.loop_finish_cost;
+            plans.push(ChunkPlan {
+                cpu,
+                bound: thread_bound,
+            });
+        }
 
-            // Accumulate reduction contributions.
-            // Both add- and sub-reductions merge by addition: every thread
-            // after the first starts from the identity, so its accumulator
-            // holds a (possibly negative) delta to fold into the total.
+        // Execute: the configured backend runs the chunks (inline in virtual
+        // time, or on OS worker threads) and merges all memory and code-cache
+        // effects back before returning.
+        let backend = self.config.backend.backend();
+        let ctx = ChunkContext {
+            process: &self.process,
+            lr: &lr,
+            config: &self.config,
+        };
+        let batch = backend.run_chunks(&ctx, &plans, &mut self.mem, &mut self.cache)?;
+        self.fold_chunk_effects(batch.effects);
+        for r in &batch.results {
+            self.stats.retired += r.cpu.retired;
+        }
+        self.stats.breakdown.init_finish += self.config.loop_finish_cost * num_chunks as u64;
+        self.stats.breakdown.parallel += batch.parallel_cycles;
+        self.stats.os_threads_used = self.stats.os_threads_used.max(batch.os_threads);
+        self.stats.parallel_wall_nanos += batch.wall_nanos;
+
+        // Accumulate reduction contributions.
+        // Both add- and sub-reductions merge by addition: every thread
+        // after the first starts from the identity, so its accumulator
+        // holds a (possibly negative) delta to fold into the total.
+        let mut reduction_totals: Vec<i64> = lr
+            .reductions
+            .iter()
+            .map(
+                |(_var, _, is_float)| {
+                    if *is_float {
+                        0f64.to_bits() as i64
+                    } else {
+                        0
+                    }
+                },
+            )
+            .collect();
+        for r in &batch.results {
             for (idx, (var, _op, is_float)) in lr.reductions.iter().enumerate() {
-                let v = var.read(&cpu, &mut self.mem);
+                let v = var.read(&r.cpu, &mut self.mem);
                 let total = &mut reduction_totals[idx];
                 if *is_float {
                     let sum = f64::from_bits(*total as u64);
@@ -616,33 +634,46 @@ impl Dbm {
                     *total = total.wrapping_add(v);
                 }
             }
-            thread_cpus.push(cpu);
         }
 
         // LOOP_FINISH: merge contexts back into the main thread. The last
         // thread executed the final iterations, so its register state is the
         // state a sequential execution would have left behind.
-        let last = thread_cpus.last().expect("at least one chunk ran");
+        let last = batch.results.last().expect("at least one chunk ran");
         let saved_sp = self.main.sp();
         let saved_fp = self.main.read_gpr(Reg::FP);
-        self.main.gpr = last.gpr;
-        self.main.vreg = last.vreg;
-        self.main.flags = last.flags;
+        self.main.gpr = last.cpu.gpr;
+        self.main.vreg = last.cpu.vreg;
+        self.main.flags = last.cpu.flags;
         self.main.set_sp(saved_sp);
         self.main.write_gpr(Reg::FP, saved_fp);
         // Stack-slot induction variables live in the (private) frame of the
         // last thread; propagate the final value to the main frame.
         if let VarSpec::Stack(_) = induction {
-            let final_value = induction.read(thread_cpus.last().unwrap(), &mut self.mem);
+            let final_value = induction.read(&last.cpu, &mut self.mem);
             induction.write(&mut self.main, &mut self.mem, final_value);
         }
         // Combined reductions overwrite the merged context.
         for (idx, (var, _, _)) in lr.reductions.iter().enumerate() {
             var.write(&mut self.main, &mut self.mem, reduction_totals[idx]);
         }
-        self.stats.breakdown.parallel += max_thread_cycles;
-        self.main.pc = exit_pc.expect("threads stopped at a loop exit");
+        self.main.pc = last.exit_pc;
         Ok(true)
+    }
+
+    /// Folds the side effects of one chunk batch into the run's statistics
+    /// and output streams.
+    fn fold_chunk_effects(&mut self, fx: ChunkSideEffects) {
+        self.stats.blocks_translated += fx.blocks_translated;
+        self.stats.block_executions += fx.block_executions;
+        self.stats.breakdown.translation += fx.translation_cycles;
+        self.stats.stm_transactions += fx.stm_transactions;
+        self.stats.stm_aborts += fx.stm_aborts;
+        self.stats.stm_reads += fx.stm_reads;
+        self.stats.stm_writes += fx.stm_writes;
+        self.stats.breakdown.stm += fx.stm_cycles;
+        self.output_ints.extend(fx.output_ints);
+        self.output_floats.extend(fx.output_floats);
     }
 
     /// Runs one invocation of a may-dependent loop under the Block-STM-style
@@ -688,14 +719,15 @@ impl Dbm {
         };
         let spec_config = janus_spec::SpecConfig {
             lanes: self.config.threads.max(1),
-            read_overhead: self.config.spec_read_cost,
-            write_overhead: self.config.spec_write_cost,
-            validate_base_cost: self.config.spec_validate_cost * 3,
-            validate_read_cost: self.config.spec_validate_cost,
-            abort_cost: self.config.spec_abort_cost,
-            commit_cost_per_write: self.config.spec_write_cost / 2,
-            max_task_factor: self.config.spec_max_task_factor,
+            read_overhead: self.config.spec.read,
+            write_overhead: self.config.spec.write,
+            validate_base_cost: self.config.spec.validate * 3,
+            validate_read_cost: self.config.spec.validate,
+            abort_cost: self.config.spec.abort,
+            commit_cost_per_write: self.config.spec.write / 2,
+            max_task_factor: self.config.spec.max_task_factor,
         };
+        let backend = self.config.backend.backend();
 
         // Split the borrows the iteration body needs off `self` so the guest
         // memory can be temporarily moved into the engine.
@@ -709,11 +741,10 @@ impl Dbm {
         let step = lr.step;
         let mut base = std::mem::take(&mut self.mem);
 
-        let outcome = janus_spec::run_speculative(
-            &spec_config,
-            &mut base,
-            iterations as usize,
-            |iter, view| -> std::result::Result<janus_spec::IterationRun<(Cpu, u64)>, DbmError> {
+        let mut body =
+            |iter: usize,
+             view: &mut janus_spec::SpecView<'_, FlatMemory>|
+             -> std::result::Result<janus_spec::IterationRun<(Cpu, u64)>, DbmError> {
                 let mut cpu = template.clone();
                 let value = start + iter as i64 * step;
                 cpu.write_gpr(ind_reg, value);
@@ -776,11 +807,17 @@ impl Dbm {
                         }
                     }
                 }
-            },
+            };
+        let invocation = backend.run_speculative_invocation(
+            &spec_config,
+            &mut base,
+            iterations as usize,
+            &mut body,
         );
         self.mem = base;
+        self.stats.parallel_wall_nanos += invocation.wall_nanos;
 
-        let outcome = match outcome {
+        let outcome = match invocation.result {
             Ok(outcome) => outcome,
             Err(janus_spec::SpecError::Body(e)) => return Err(e),
             Err(janus_spec::SpecError::AbortLimit { .. }) => {
@@ -862,167 +899,207 @@ impl Dbm {
             }
         }
     }
+}
 
-    /// Runs one guest thread from the loop header until it reaches a
-    /// `LOOP_FINISH` address. Returns that address.
-    fn run_thread(&mut self, cpu: &mut Cpu, lr: &LoopRt, thread_bound: i64) -> Result<u64> {
-        loop {
-            if cpu.cycles > self.config.cycle_limit {
-                return Err(DbmError::CycleLimitExceeded {
-                    limit: self.config.cycle_limit,
-                });
+/// Whether executing `inst` goes through the DBM's indirect-branch target
+/// lookup ([`DbmConfig::indirect_lookup_cost`]). One definition shared by
+/// the main dispatch loop and chunk execution so their cycle accounting
+/// cannot drift apart.
+fn needs_indirect_lookup(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::JmpInd { .. } | Inst::CallInd { .. } | Inst::CallExt { .. } | Inst::Ret
+    )
+}
+
+/// Runs one planned chunk from the loop header until it reaches a
+/// `LOOP_FINISH` address, and returns that address.
+///
+/// This is the backend-agnostic chunk executor: generic over the guest
+/// memory view (`&mut FlatMemory` under virtual time, a [`janus_vm::CowMemory`]
+/// overlay on an OS worker thread) and over the code-cache accounting
+/// strategy ([`BlockAccounting`]: live against the shared cache, or deferred
+/// counts replayed after the workers join). It is free of `Dbm` state —
+/// every other side effect (guest output, STM counters) goes into
+/// [`ChunkSideEffects`], which the caller folds back in chunk order.
+pub(crate) fn run_chunk<M: GuestMemory, A: BlockAccounting>(
+    ctx: &ChunkContext<'_>,
+    cpu: &mut Cpu,
+    mem: &mut M,
+    accounting: &mut A,
+    thread_bound: i64,
+    fx: &mut ChunkSideEffects,
+) -> Result<u64> {
+    let config = ctx.config;
+    let lr = ctx.lr;
+    loop {
+        if cpu.cycles > config.cycle_limit {
+            return Err(DbmError::CycleLimitExceeded {
+                limit: config.cycle_limit,
+            });
+        }
+        let pc = cpu.pc;
+        if lr.finish_addrs.contains(&pc) {
+            return Ok(pc);
+        }
+        accounting.record(pc, config, fx);
+        let mut inst = ctx.process.inst_at(pc)?.clone();
+        // LOOP_UPDATE_BOUND handler: specialise the loop-bound compare for
+        // this thread's chunk.
+        if pc == lr.bound_cmp_addr {
+            if let Inst::Cmp { lhs, .. } = inst {
+                inst = Inst::Cmp {
+                    lhs,
+                    rhs: Operand::Imm(thread_bound),
+                };
             }
-            let pc = cpu.pc;
-            if lr.finish_addrs.contains(&pc) {
-                return Ok(pc);
+        }
+        let next_pc = pc + INST_SIZE as u64;
+        // TX_START handler: dynamically discovered code runs under the
+        // just-in-time STM.
+        if lr.tx_calls.contains(&pc) && config.enable_runtime_checks {
+            if let Inst::CallExt { plt } = inst {
+                run_transactional_call(ctx, cpu, mem, plt, next_pc, fx)?;
+                cpu.pc = next_pc;
+                continue;
             }
-            self.account_block(pc, false);
-            let mut inst = self.process.inst_at(pc)?.clone();
-            // LOOP_UPDATE_BOUND handler: specialise the loop-bound compare for
-            // this thread's chunk.
-            if pc == lr.bound_cmp_addr {
-                if let Inst::Cmp { lhs, .. } = inst {
-                    inst = Inst::Cmp {
-                        lhs,
-                        rhs: Operand::Imm(thread_bound),
-                    };
-                }
-            }
-            let next_pc = pc + INST_SIZE as u64;
-            // TX_START handler: dynamically discovered code runs under the
-            // just-in-time STM.
-            if lr.tx_calls.contains(&pc) && self.config.enable_runtime_checks {
-                if let Inst::CallExt { plt } = inst {
-                    self.run_transactional_call(cpu, plt, next_pc)?;
-                    cpu.pc = next_pc;
-                    continue;
-                }
-            }
-            self.charge_indirect(&inst);
-            let effect = exec_inst(cpu, &mut self.mem, &inst, next_pc)?;
-            match effect {
-                Effect::Continue => cpu.pc = next_pc,
-                Effect::Jump(t) => cpu.pc = t,
-                Effect::Halt => return Ok(pc),
-                Effect::External { plt } => match self.process.resolve_plt(plt)?.clone() {
-                    ResolvedPlt::Guest { addr, .. } => cpu.pc = addr,
-                    ResolvedPlt::Native { name } => {
-                        match name.as_str() {
-                            "print_i64" => self.output_ints.push(cpu.read_gpr(Reg::R0)),
-                            "print_f64" => self.output_floats.push(cpu.read_f64(Reg::V0)),
-                            other => {
-                                return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
-                                    name: other.to_string(),
-                                }))
-                            }
+        }
+        if needs_indirect_lookup(&inst) {
+            fx.translation_cycles += config.indirect_lookup_cost;
+        }
+        let effect = exec_inst(cpu, mem, &inst, next_pc)?;
+        match effect {
+            Effect::Continue => cpu.pc = next_pc,
+            Effect::Jump(t) => cpu.pc = t,
+            Effect::Halt => return Ok(pc),
+            Effect::External { plt } => match ctx.process.resolve_plt(plt)?.clone() {
+                ResolvedPlt::Guest { addr, .. } => cpu.pc = addr,
+                ResolvedPlt::Native { name } => {
+                    match name.as_str() {
+                        "print_i64" => fx.output_ints.push(cpu.read_gpr(Reg::R0)),
+                        "print_f64" => fx.output_floats.push(cpu.read_f64(Reg::V0)),
+                        other => {
+                            return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
+                                name: other.to_string(),
+                            }))
                         }
-                        let ret = janus_vm::exec::pop_value(cpu, &mut self.mem) as u64;
-                        cpu.pc = ret;
                     }
-                },
-                Effect::Syscall { num } => {
-                    // Parallelised loops never contain system calls (the
-                    // static analyser rejects them), but be safe.
-                    let _ = num;
-                    return Err(DbmError::BadRule {
-                        reason: "system call inside a parallelised loop".to_string(),
-                    });
+                    let ret = janus_vm::exec::pop_value(cpu, mem) as u64;
+                    cpu.pc = ret;
                 }
+            },
+            Effect::Syscall { num } => {
+                // Parallelised loops never contain system calls (the
+                // static analyser rejects them), but be safe.
+                let _ = num;
+                return Err(DbmError::BadRule {
+                    reason: "system call inside a parallelised loop".to_string(),
+                });
             }
         }
     }
+}
 
-    /// Executes an external (shared-library) call speculatively under the
-    /// software transactional memory: the `TX_START` / `TX_FINISH` pair of
-    /// the paper.
-    fn run_transactional_call(&mut self, cpu: &mut Cpu, plt: u32, return_pc: u64) -> Result<()> {
-        let target = match self.process.resolve_plt(plt)?.clone() {
-            ResolvedPlt::Guest { addr, .. } => addr,
-            ResolvedPlt::Native { name } => {
-                // Native helpers have no guest-visible memory effects; run
-                // them directly.
-                match name.as_str() {
-                    "print_i64" => self.output_ints.push(cpu.read_gpr(Reg::R0)),
-                    "print_f64" => self.output_floats.push(cpu.read_f64(Reg::V0)),
-                    other => {
-                        return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
-                            name: other.to_string(),
-                        }))
-                    }
+/// Executes an external (shared-library) call speculatively under the
+/// software transactional memory: the `TX_START` / `TX_FINISH` pair of
+/// the paper. Generic over the guest memory view for the same reason as
+/// [`run_chunk`]; under the native-threads backend the transaction commits
+/// into the chunk's private overlay.
+fn run_transactional_call<M: GuestMemory>(
+    ctx: &ChunkContext<'_>,
+    cpu: &mut Cpu,
+    mem: &mut M,
+    plt: u32,
+    return_pc: u64,
+    fx: &mut ChunkSideEffects,
+) -> Result<()> {
+    let config = ctx.config;
+    let target = match ctx.process.resolve_plt(plt)?.clone() {
+        ResolvedPlt::Guest { addr, .. } => addr,
+        ResolvedPlt::Native { name } => {
+            // Native helpers have no guest-visible memory effects; run
+            // them directly.
+            match name.as_str() {
+                "print_i64" => fx.output_ints.push(cpu.read_gpr(Reg::R0)),
+                "print_f64" => fx.output_floats.push(cpu.read_f64(Reg::V0)),
+                other => {
+                    return Err(DbmError::Vm(janus_vm::VmError::UnknownExternal {
+                        name: other.to_string(),
+                    }))
                 }
-                return Ok(());
+            }
+            return Ok(());
+        }
+    };
+    fx.stm_transactions += 1;
+    let checkpoint = cpu.clone();
+    let mut tx = TxView::new(mem);
+    // The call's return address is pushed inside the transaction.
+    janus_vm::exec::push_value(cpu, &mut tx, return_pc as i64);
+    cpu.pc = target;
+    let mut ok = true;
+    loop {
+        if cpu.pc == return_pc {
+            break;
+        }
+        if cpu.cycles > config.cycle_limit {
+            ok = false;
+            break;
+        }
+        let pc = cpu.pc;
+        let inst = match ctx.process.inst_at(pc) {
+            Ok(i) => i.clone(),
+            Err(_) => {
+                ok = false;
+                break;
             }
         };
-        self.stats.stm_transactions += 1;
-        let checkpoint = cpu.clone();
-        let mut tx = TxView::new(&mut self.mem);
-        // The call's return address is pushed inside the transaction.
-        janus_vm::exec::push_value(cpu, &mut tx, return_pc as i64);
+        let next_pc = pc + INST_SIZE as u64;
+        let effect = exec_inst(cpu, &mut tx, &inst, next_pc)?;
+        match effect {
+            Effect::Continue => cpu.pc = next_pc,
+            Effect::Jump(t) => cpu.pc = t,
+            _ => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    let tx_stats = tx.stats();
+    fx.stm_reads += tx_stats.reads;
+    fx.stm_writes += tx_stats.writes;
+    let stm_cost = tx_stats.reads * config.stm.read
+        + tx_stats.writes * config.stm.write
+        + (tx_stats.reads + tx_stats.writes) * config.stm.commit;
+    fx.stm_cycles += stm_cost;
+    cpu.cycles += stm_cost;
+    let committed = ok && tx.commit();
+    if !committed {
+        // Abort: roll back to the checkpoint and re-execute the call
+        // non-speculatively (the thread is treated as the oldest).
+        fx.stm_aborts += 1;
+        *cpu = checkpoint;
+        janus_vm::exec::push_value(cpu, mem, return_pc as i64);
         cpu.pc = target;
-        let mut ok = true;
         loop {
             if cpu.pc == return_pc {
                 break;
             }
-            if cpu.cycles > self.config.cycle_limit {
-                ok = false;
-                break;
-            }
             let pc = cpu.pc;
-            let inst = match self.process.inst_at(pc) {
-                Ok(i) => i.clone(),
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
-            };
+            let inst = ctx.process.inst_at(pc)?.clone();
             let next_pc = pc + INST_SIZE as u64;
-            let effect = exec_inst(cpu, &mut tx, &inst, next_pc)?;
-            match effect {
+            match exec_inst(cpu, mem, &inst, next_pc)? {
                 Effect::Continue => cpu.pc = next_pc,
                 Effect::Jump(t) => cpu.pc = t,
                 _ => {
-                    ok = false;
-                    break;
+                    return Err(DbmError::BadRule {
+                        reason: "unsupported control flow in shared-library call".to_string(),
+                    })
                 }
             }
         }
-        let tx_stats = tx.stats();
-        self.stats.stm_reads += tx_stats.reads;
-        self.stats.stm_writes += tx_stats.writes;
-        let stm_cost = tx_stats.reads * self.config.stm_read_cost
-            + tx_stats.writes * self.config.stm_write_cost
-            + (tx_stats.reads + tx_stats.writes) * self.config.stm_commit_cost;
-        self.stats.breakdown.stm += stm_cost;
-        cpu.cycles += stm_cost;
-        let committed = ok && tx.commit();
-        if !committed {
-            // Abort: roll back to the checkpoint and re-execute the call
-            // non-speculatively (the thread is treated as the oldest).
-            self.stats.stm_aborts += 1;
-            *cpu = checkpoint;
-            janus_vm::exec::push_value(cpu, &mut self.mem, return_pc as i64);
-            cpu.pc = target;
-            loop {
-                if cpu.pc == return_pc {
-                    break;
-                }
-                let pc = cpu.pc;
-                let inst = self.process.inst_at(pc)?.clone();
-                let next_pc = pc + INST_SIZE as u64;
-                match exec_inst(cpu, &mut self.mem, &inst, next_pc)? {
-                    Effect::Continue => cpu.pc = next_pc,
-                    Effect::Jump(t) => cpu.pc = t,
-                    _ => {
-                        return Err(DbmError::BadRule {
-                            reason: "unsupported control flow in shared-library call".to_string(),
-                        })
-                    }
-                }
-            }
-        }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! virtual time.
 
 use crate::mv::{MvMemory, ReadOrigin, ReadResult, ReadSet};
-use crate::scheduler::{Lanes, Scheduler, Task};
+use crate::scheduler::{LaneSet, Lanes, Scheduler, Task};
 use crate::{SpecConfig, SpecError, SpecStats};
 use janus_vm::GuestMemory;
 use std::fmt;
@@ -74,11 +74,35 @@ pub fn run_speculative<M, P, E, F>(
     config: &SpecConfig,
     base: &mut M,
     iterations: usize,
+    body: F,
+) -> Result<SpecOutcome<P>, SpecError<E>>
+where
+    M: GuestMemory,
+    F: FnMut(usize, &mut crate::SpecView<'_, M>) -> Result<IterationRun<P>, E>,
+{
+    run_speculative_with_lanes(config, Lanes::new(config.lanes), base, iterations, body)
+}
+
+/// [`run_speculative`] with a caller-supplied [`LaneSet`].
+///
+/// Execution backends that maintain their own worker-lane state (e.g. to
+/// correlate modelled lane occupancy with real worker threads) can pass it in
+/// here; the engine is otherwise identical.
+///
+/// # Errors
+///
+/// See [`run_speculative`].
+pub fn run_speculative_with_lanes<M, P, E, F, L>(
+    config: &SpecConfig,
+    mut lanes: L,
+    base: &mut M,
+    iterations: usize,
     mut body: F,
 ) -> Result<SpecOutcome<P>, SpecError<E>>
 where
     M: GuestMemory,
     F: FnMut(usize, &mut crate::SpecView<'_, M>) -> Result<IterationRun<P>, E>,
+    L: LaneSet,
 {
     let mut stats = SpecStats {
         iterations: iterations as u64,
@@ -94,7 +118,6 @@ where
 
     let mut mv = MvMemory::new();
     let mut sched = Scheduler::new(iterations);
-    let mut lanes = Lanes::new(config.lanes);
     let mut data: Vec<IterData<P>> = (0..iterations).map(|_| IterData::default()).collect();
 
     let max_tasks = (iterations as u64)

@@ -96,10 +96,11 @@ mod engine;
 mod mv;
 pub mod scheduler;
 
-pub use engine::{run_speculative, IterationRun, SpecOutcome};
+pub use engine::{run_speculative, run_speculative_with_lanes, IterationRun, SpecOutcome};
 pub use mv::{
     Incarnation, Iteration, MvMemory, MvStats, ReadOrigin, ReadResult, ReadSet, SpecView, ViewStats,
 };
+pub use scheduler::{LaneSet, Lanes};
 
 use std::fmt;
 

@@ -211,6 +211,29 @@ impl Scheduler {
     }
 }
 
+/// The worker-lane abstraction: a set of `count` workers whose occupancy is
+/// tracked in modelled (virtual) cycles.
+///
+/// Both execution substrates drive their parallelism accounting through this
+/// one interface: the speculation engine charges every execution/validation
+/// task to the least-loaded lane, and `janus-dbm`'s execution backends charge
+/// each loop chunk the same way — whether the chunk then runs inline on the
+/// coordinating thread (virtual-time backend) or on a real OS worker thread
+/// (native-threads backend). Keeping the *modelled* clock shared between the
+/// two is what makes their reported cycle counts comparable.
+pub trait LaneSet {
+    /// Number of worker lanes.
+    fn lane_count(&self) -> usize;
+    /// The modelled time at which the next task would start (the least-loaded
+    /// lane's clock).
+    fn next_start(&self) -> u64;
+    /// Charges `cost` modelled cycles to the least-loaded lane and returns
+    /// the task's completion time.
+    fn charge(&mut self, cost: u64) -> u64;
+    /// The modelled makespan: the busiest lane's clock.
+    fn makespan(&self) -> u64;
+}
+
 /// The virtual worker lanes: `lanes[k]` is the virtual time up to which lane
 /// `k` is busy. Tasks are charged greedily to the least-loaded lane, which
 /// keeps the schedule deterministic while modelling `lanes.len()`-way
@@ -255,6 +278,24 @@ impl Lanes {
     #[must_use]
     pub fn makespan(&self) -> u64 {
         self.clocks.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl LaneSet for Lanes {
+    fn lane_count(&self) -> usize {
+        self.clocks.len()
+    }
+
+    fn next_start(&self) -> u64 {
+        Lanes::next_start(self)
+    }
+
+    fn charge(&mut self, cost: u64) -> u64 {
+        Lanes::charge(self, cost)
+    }
+
+    fn makespan(&self) -> u64 {
+        Lanes::makespan(self)
     }
 }
 

@@ -47,6 +47,7 @@ pub mod cost;
 pub mod cpu;
 pub mod exec;
 pub mod memory;
+pub mod overlay;
 pub mod process;
 pub mod syslib;
 pub mod vm;
@@ -58,6 +59,7 @@ pub use cpu::{Cpu, Flags};
 pub use error::{Result, VmError};
 pub use exec::{exec_inst, Effect};
 pub use memory::{FlatMemory, GuestMemory};
+pub use overlay::{CowMemory, OverlayWrite};
 pub use process::{Process, ResolvedPlt};
 pub use syslib::build_syslib;
 pub use vm::{RunResult, Vm, VmConfig};

@@ -94,6 +94,64 @@ impl FlatMemory {
         self.pages.len()
     }
 
+    /// Reads one byte without updating access statistics. Used by shared
+    /// read-only views ([`crate::CowMemory`]) that layer private writes over
+    /// an immutable base image.
+    #[must_use]
+    pub fn peek_u8(&self, addr: u64) -> u8 {
+        let (page, off) = Self::page_of(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Reads a little-endian 64-bit value without updating access statistics.
+    #[must_use]
+    pub fn peek_u64(&self, addr: u64) -> u64 {
+        let (page, off) = Self::page_of(addr);
+        if off + 8 <= PAGE_SIZE {
+            let mut b = [0u8; 8];
+            match self.pages.get(&page) {
+                Some(p) => b.copy_from_slice(&p[off..off + 8]),
+                None => return 0,
+            }
+            u64::from_le_bytes(b)
+        } else {
+            let mut bytes = [0u8; 8];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = self.peek_u8(addr + i as u64);
+            }
+            u64::from_le_bytes(bytes)
+        }
+    }
+
+    /// A deterministic digest of the guest-visible memory image (FNV-1a over
+    /// the mapped pages in address order). Pages holding only zero bytes are
+    /// skipped, so an unwritten page and a page written with zeroes — which
+    /// are indistinguishable to the guest — digest identically. Access
+    /// statistics do not contribute. Used to assert that two execution
+    /// backends left behind the same final memory image.
+    #[must_use]
+    pub fn image_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut pages: Vec<&u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|b| *b != 0))
+            .map(|(n, _)| n)
+            .collect();
+        pages.sort_unstable();
+        let mut h = FNV_OFFSET;
+        for page in pages {
+            for b in page.to_le_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+            for b in self.pages[page].iter() {
+                h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
     /// Fast aligned 64-bit read used internally when the access does not
     /// cross a page boundary.
     fn read_u64_fast(&mut self, addr: u64) -> Option<u64> {
@@ -221,6 +279,31 @@ mod tests {
         let _ = m.read_u8(0x100);
         assert_eq!(m.stores, 1);
         assert_eq!(m.loads, 2);
+    }
+
+    #[test]
+    fn peek_matches_read_without_counting() {
+        let mut m = FlatMemory::new();
+        m.write_u64(0x1ffc, 0xfeed_f00d_dead_beef); // crosses a page boundary
+        let loads = m.loads;
+        assert_eq!(m.peek_u64(0x1ffc), 0xfeed_f00d_dead_beef);
+        assert_eq!(m.peek_u8(0x1ffc), 0xef);
+        assert_eq!(m.peek_u64(0x9_0000), 0, "unmapped memory peeks zero");
+        assert_eq!(m.loads, loads, "peeks are not counted as loads");
+    }
+
+    #[test]
+    fn image_digest_ignores_stats_and_zero_pages() {
+        let mut a = FlatMemory::new();
+        let mut b = FlatMemory::new();
+        a.write_u64(0x4000, 77);
+        b.write_u64(0x4000, 77);
+        // Extra loads/stores and an all-zero page must not change the digest.
+        let _ = b.read_u64(0x4000);
+        b.write_u64(0x8000, 0);
+        assert_eq!(a.image_digest(), b.image_digest());
+        a.write_u64(0x4008, 1);
+        assert_ne!(a.image_digest(), b.image_digest());
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Copy-on-write guest-memory views for OS-thread execution backends.
+//!
+//! A parallelised loop chunk running on a real worker thread cannot share a
+//! `&mut FlatMemory` with its siblings. [`CowMemory`] gives each chunk a
+//! `Send`-able view instead: reads fall through to a shared read-only base
+//! image, writes land in a private word-granular overlay. After the workers
+//! join, the coordinating thread merges each overlay back into the base in
+//! chunk order, which reproduces the memory image a sequential chunk-by-chunk
+//! execution would have produced.
+
+use crate::memory::{FlatMemory, GuestMemory};
+use std::collections::HashMap;
+
+/// One overlay word plus the mask of bytes the view actually wrote.
+///
+/// The mask is what makes the merge byte-exact: two sibling chunks may
+/// legally write *disjoint bytes* of the same 8-byte word (an unaligned
+/// store straddling a chunk boundary, byte-granular stores), and merging
+/// whole words would let the later chunk clobber the earlier one's bytes
+/// with stale base data. Only dirty bytes are applied.
+#[derive(Debug, Clone, Copy)]
+struct OverlayWord {
+    value: u64,
+    dirty: u8,
+}
+
+/// A pending overlay write: the aligned word address, the value, and the
+/// mask of bytes (bit *i* ⇒ byte *i*) that were actually written.
+pub type OverlayWrite = (u64, u64, u8);
+
+/// A private, writable view over a shared read-only [`FlatMemory`] image.
+///
+/// Writes are buffered at aligned-64-bit-word granularity with a per-byte
+/// dirty mask; byte and unaligned accesses are composed through the covering
+/// words, mirroring the layout the base memory itself uses. The view borrows
+/// the base immutably, so any number of views can coexist — one per worker
+/// thread.
+#[derive(Debug)]
+pub struct CowMemory<'a> {
+    base: &'a FlatMemory,
+    words: HashMap<u64, OverlayWord>,
+}
+
+impl<'a> CowMemory<'a> {
+    /// A fresh view with an empty overlay.
+    #[must_use]
+    pub fn new(base: &'a FlatMemory) -> CowMemory<'a> {
+        CowMemory {
+            base,
+            words: HashMap::new(),
+        }
+    }
+
+    /// Number of distinct words the view has written (fully or partially).
+    #[must_use]
+    pub fn written_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Consumes the view and returns its writes as
+    /// `(word address, value, dirty-byte mask)` triples sorted by address.
+    /// Apply them with [`CowMemory::apply_writes`].
+    #[must_use]
+    pub fn into_writes(self) -> Vec<OverlayWrite> {
+        let mut writes: Vec<OverlayWrite> = self
+            .words
+            .into_iter()
+            .map(|(addr, w)| (addr, w.value, w.dirty))
+            .collect();
+        writes.sort_unstable();
+        writes
+    }
+
+    /// Merges overlay writes into `target`, honouring each write's dirty
+    /// mask: fully-written words are stored directly, partially-written
+    /// words splice only their dirty bytes over the target's current value.
+    pub fn apply_writes(target: &mut FlatMemory, writes: &[OverlayWrite]) {
+        for &(addr, value, dirty) in writes {
+            if dirty == 0xff {
+                target.write_u64(addr, value);
+            } else {
+                let mut bytes = target.peek_u64(addr).to_le_bytes();
+                let new = value.to_le_bytes();
+                for (i, b) in bytes.iter_mut().enumerate() {
+                    if dirty & (1 << i) != 0 {
+                        *b = new[i];
+                    }
+                }
+                target.write_u64(addr, u64::from_le_bytes(bytes));
+            }
+        }
+    }
+
+    fn aligned(addr: u64) -> u64 {
+        addr & !7
+    }
+
+    fn word(&self, word: u64) -> u64 {
+        self.words
+            .get(&word)
+            .map_or_else(|| self.base.peek_u64(word), |w| w.value)
+    }
+
+    fn entry(&mut self, word: u64) -> &mut OverlayWord {
+        let base = self.base;
+        self.words.entry(word).or_insert_with(|| OverlayWord {
+            value: base.peek_u64(word),
+            dirty: 0,
+        })
+    }
+}
+
+impl GuestMemory for CowMemory<'_> {
+    fn read_u8(&mut self, addr: u64) -> u8 {
+        let word = Self::aligned(addr);
+        self.word(word).to_le_bytes()[(addr - word) as usize]
+    }
+
+    fn write_u8(&mut self, addr: u64, value: u8) {
+        let word = Self::aligned(addr);
+        let byte = (addr - word) as usize;
+        let w = self.entry(word);
+        let mut bytes = w.value.to_le_bytes();
+        bytes[byte] = value;
+        w.value = u64::from_le_bytes(bytes);
+        w.dirty |= 1 << byte;
+    }
+
+    fn read_u64(&mut self, addr: u64) -> u64 {
+        let word = Self::aligned(addr);
+        if word == addr {
+            self.word(word)
+        } else {
+            let lo = self.word(word);
+            let hi = self.word(word + 8);
+            let shift = (addr - word) * 8;
+            (lo >> shift) | (hi << (64 - shift))
+        }
+    }
+
+    fn write_u64(&mut self, addr: u64, value: u64) {
+        let word = Self::aligned(addr);
+        if word == addr {
+            let w = self.entry(word);
+            w.value = value;
+            w.dirty = 0xff;
+        } else {
+            for (i, b) in value.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_fall_through_to_base_until_written() {
+        let mut base = FlatMemory::new();
+        base.write_u64(0x1000, 42);
+        let mut view = CowMemory::new(&base);
+        assert_eq!(view.read_u64(0x1000), 42);
+        view.write_u64(0x1000, 43);
+        assert_eq!(view.read_u64(0x1000), 43, "view sees its own write");
+        assert_eq!(base.peek_u64(0x1000), 42, "base is untouched");
+    }
+
+    #[test]
+    fn byte_and_unaligned_accesses_compose_through_words() {
+        let mut base = FlatMemory::new();
+        base.write_u64(0x2000, 0x1122_3344_5566_7788);
+        base.write_u64(0x2008, 0x99aa_bbcc_ddee_ff00);
+        let mut view = CowMemory::new(&base);
+        assert_eq!(view.read_u8(0x2001), 0x77);
+        view.write_u8(0x2001, 0xab);
+        assert_eq!(view.read_u64(0x2000), 0x1122_3344_5566_ab88);
+        // Unaligned read straddling the two words.
+        let unaligned = view.read_u64(0x2004);
+        assert_eq!(unaligned & 0xffff_ffff, 0x1122_3344);
+        // Unaligned write round-trips.
+        view.write_u64(0x2004, 0xdead_beef_cafe_f00d);
+        assert_eq!(view.read_u64(0x2004), 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn into_writes_is_sorted_and_merges_to_the_sequential_image() {
+        let mut base = FlatMemory::new();
+        let mut view = CowMemory::new(&base);
+        view.write_u64(0x3008, 2);
+        view.write_u64(0x3000, 1);
+        assert_eq!(view.written_words(), 2);
+        let writes = view.into_writes();
+        assert_eq!(writes, vec![(0x3000, 1, 0xff), (0x3008, 2, 0xff)]);
+        CowMemory::apply_writes(&mut base, &writes);
+        assert_eq!(base.peek_u64(0x3000), 1);
+        assert_eq!(base.peek_u64(0x3008), 2);
+    }
+
+    #[test]
+    fn disjoint_byte_writes_to_one_word_merge_without_clobbering() {
+        // Two sibling views write disjoint halves of the same 8-byte word —
+        // e.g. an unaligned store straddling a chunk boundary. Merging in
+        // chunk order must keep both halves, exactly as sequential execution
+        // against shared memory would.
+        let mut base = FlatMemory::new();
+        base.write_u64(0x4000, u64::from_le_bytes([9; 8]));
+        let mut shared = base.clone();
+
+        let mut a = CowMemory::new(&base);
+        for i in 0..4 {
+            a.write_u8(0x4000 + i, 0xaa);
+        }
+        let mut b = CowMemory::new(&base);
+        for i in 4..8 {
+            b.write_u8(0x4000 + i, 0xbb);
+        }
+        let (wa, wb) = (a.into_writes(), b.into_writes());
+        assert_eq!(wa[0].2, 0x0f, "low-half dirty mask");
+        assert_eq!(wb[0].2, 0xf0, "high-half dirty mask");
+        CowMemory::apply_writes(&mut shared, &wa);
+        CowMemory::apply_writes(&mut shared, &wb);
+        assert_eq!(
+            shared.peek_u64(0x4000),
+            u64::from_le_bytes([0xaa, 0xaa, 0xaa, 0xaa, 0xbb, 0xbb, 0xbb, 0xbb])
+        );
+    }
+
+    #[test]
+    fn views_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CowMemory<'_>>();
+    }
+}

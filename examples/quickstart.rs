@@ -1,12 +1,17 @@
 //! Quickstart: compile a small DOALL kernel, parallelise it with Janus and
 //! compare against native execution.
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Run with:
+//! `cargo run --release --example quickstart -- [--backend virtual|native] [--threads N]`
 
 use janus::compile::{ast, Compiler};
 use janus::core::{Janus, JanusConfig};
 
+#[path = "util/flags.rs"]
+mod flags;
+
 fn main() {
+    let (backend, threads) = flags::parse(8);
     // A simple `y[i] = 3*x[i] + y[i]` kernel over 64k elements.
     let n = 65_536i64;
     let program = ast::Program::builder("quickstart")
@@ -44,17 +49,29 @@ fn main() {
         binary.file_size()
     );
 
-    // Parallelise with 8 threads.
+    // Parallelise with the selected backend and thread count.
     let janus = Janus::with_config(JanusConfig {
-        threads: 8,
+        threads,
+        backend,
         ..JanusConfig::default()
     });
     let report = janus.run(&binary, &[]).expect("pipeline succeeds");
 
+    println!(
+        "backend:             {} ({threads} threads)",
+        report.backend
+    );
     println!("selected loops:      {:?}", report.selected_loops);
     println!("native cycles:       {}", report.native.cycles);
     println!("janus cycles:        {}", report.parallel.cycles);
-    println!("speedup:             {:.2}x", report.speedup());
+    println!("speedup:             {:.2}x (modelled)", report.speedup());
+    if report.os_threads_used() > 0 {
+        println!(
+            "os threads used:     {} (parallel wall time {:.4}s)",
+            report.os_threads_used(),
+            report.parallel_wall_seconds()
+        );
+    }
     println!("outputs match:       {}", report.outputs_match);
     println!(
         "schedule size:       {} bytes ({:.2}% of binary)",

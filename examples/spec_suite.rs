@@ -1,17 +1,19 @@
 //! Run Janus over the nine parallelisable synthetic SPEC-like benchmarks and
 //! print a Figure-7-style speedup table for a chosen thread count.
 //!
-//! Run with: `cargo run --release --example spec_suite [threads]`
+//! Run with:
+//! `cargo run --release --example spec_suite -- [threads] [--backend virtual|native] [--threads N]`
 
 use janus::compile::{CompileOptions, Compiler};
 use janus::core::{Janus, JanusConfig, OptimisationMode};
 use janus::workloads::{parallel_benchmarks, workload};
 
+#[path = "util/flags.rs"]
+mod flags;
+
 fn main() {
-    let threads: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let (backend, threads) = flags::parse(8);
+    println!("backend: {backend} | threads: {threads}");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>8}",
         "benchmark", "DynamoRIO", "Janus", "par.loops", "checks"
@@ -23,6 +25,7 @@ fn main() {
             .expect("compiles");
         let overhead = Janus::with_config(JanusConfig {
             threads,
+            backend,
             mode: OptimisationMode::DynamoRioOnly,
             ..JanusConfig::default()
         })
@@ -30,6 +33,7 @@ fn main() {
         .expect("dbm-only run succeeds");
         let full = Janus::with_config(JanusConfig {
             threads,
+            backend,
             ..JanusConfig::default()
         })
         .run(&binary, &[])

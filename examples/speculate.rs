@@ -1,17 +1,19 @@
 //! Run the may-dependent (DOACROSS) workloads under the Block-STM-style
 //! speculation engine and print a Table-III-style abort/speedup summary.
 //!
-//! Run with: `cargo run --release --example speculate [threads]`
+//! Run with:
+//! `cargo run --release --example speculate -- [threads] [--backend virtual|native] [--threads N]`
 
 use janus::compile::{CompileOptions, Compiler};
 use janus::core::{Janus, JanusConfig};
 use janus::workloads::{speculative_benchmarks, workload};
 
+#[path = "util/flags.rs"]
+mod flags;
+
 fn main() {
-    let threads: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(8);
+    let (backend, threads) = flags::parse(8);
+    println!("backend: {backend} | threads: {threads}");
     println!(
         "{:<22} {:>8} {:>10} {:>8} {:>8} {:>9} {:>9}",
         "workload", "spec", "iters", "aborts", "retries", "serial", "spec-up"
@@ -24,6 +26,7 @@ fn main() {
         // The seed behaviour: speculation off, the may-dep loop serialises.
         let serial = Janus::with_config(JanusConfig {
             threads,
+            backend,
             speculation: false,
             ..JanusConfig::default()
         })
@@ -32,6 +35,7 @@ fn main() {
         // The janus-spec path.
         let spec = Janus::with_config(JanusConfig {
             threads,
+            backend,
             ..JanusConfig::default()
         })
         .run(&binary, &[])
