@@ -91,6 +91,82 @@ fn backends_agree_on_every_workload() {
     }
 }
 
+/// Speculative (`SPECULATE`) equivalence across the thread axis: under the
+/// native backend every may-dependent workload's incarnations race on a real
+/// Block-STM worker pool, yet the *reported* numbers — final memory image,
+/// output streams, modelled cycles and breakdown, and the speculation
+/// counters feeding table 3 — must be bit-identical to the deterministic
+/// virtual-time coordinator at every thread count, because the native
+/// backend replays the deterministic engine in commit order for everything
+/// it reports.
+#[test]
+fn speculative_workloads_agree_across_thread_counts() {
+    for name in speculative_benchmarks() {
+        let binary = train_binary(name);
+        for threads in [1u32, 2, 4, 8] {
+            let virt = run(&binary, BackendKind::VirtualTime, threads);
+            let native = run(&binary, BackendKind::NativeThreads, threads);
+
+            assert!(virt.outputs_match, "{name}@{threads}: virtual diverged");
+            assert!(native.outputs_match, "{name}@{threads}: native diverged");
+            assert_eq!(
+                virt.parallel.memory_digest, native.parallel.memory_digest,
+                "{name}@{threads}: final guest memory images differ"
+            );
+            assert_eq!(
+                virt.parallel.output_ints, native.parallel.output_ints,
+                "{name}@{threads}: integer output streams differ"
+            );
+            assert_eq!(
+                virt.parallel.output_floats, native.parallel.output_floats,
+                "{name}@{threads}: float output streams differ"
+            );
+            assert_eq!(
+                virt.parallel.cycles, native.parallel.cycles,
+                "{name}@{threads}: modelled cycle totals differ"
+            );
+            assert_eq!(
+                virt.parallel.stats.breakdown, native.parallel.stats.breakdown,
+                "{name}@{threads}: modelled cycle breakdowns differ"
+            );
+            // The speculation counters behind `figures table3`.
+            let (vs, ns) = (&virt.parallel.stats, &native.parallel.stats);
+            assert_eq!(
+                (
+                    vs.spec_invocations,
+                    vs.spec_iterations,
+                    vs.spec_executions,
+                    vs.spec_aborts,
+                    vs.spec_validations,
+                    vs.spec_fallbacks,
+                ),
+                (
+                    ns.spec_invocations,
+                    ns.spec_iterations,
+                    ns.spec_executions,
+                    ns.spec_aborts,
+                    ns.spec_validations,
+                    ns.spec_fallbacks,
+                ),
+                "{name}@{threads}: speculation statistics differ"
+            );
+
+            // Physical fan-out: whenever speculative invocations actually
+            // ran under the native backend with >1 lane, the racing pool
+            // must have spawned >1 OS worker thread.
+            assert_eq!(virt.os_threads_used(), 0, "{name}@{threads}");
+            if threads >= 2 && ns.spec_invocations > 0 {
+                assert!(
+                    native.os_threads_used() > 1,
+                    "{name}@{threads}: native backend must race speculative \
+                     incarnations across OS threads, reported {}",
+                    native.os_threads_used()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn native_backend_spawns_real_threads_and_measures_wall_time() {
     let binary = train_binary("470.lbm");

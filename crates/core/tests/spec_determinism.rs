@@ -1,0 +1,97 @@
+//! Determinism stress for the racing speculative runtime: the native
+//! backend's Block-STM worker pool races incarnations nondeterministically,
+//! so every *reported* number must come from the deterministic commit-order
+//! replay — re-running the same workload many times must produce
+//! bit-identical memory digests, outputs, modelled cycles and table-3
+//! speculation statistics, with zero schedule-dependent drift.
+//!
+//! `spec.doacross-window` is the stress pick: its sliding-window
+//! read-after-write chain has the highest abort rate of the suite, so it
+//! exercises estimates, dependency wakeups and re-execution on every run.
+
+use janus_compile::{CompileOptions, Compiler};
+use janus_core::{BackendKind, Janus, JanusConfig, JanusReport};
+use janus_ir::JBinary;
+use janus_workloads::workload;
+
+fn compile_once() -> JBinary {
+    let w = workload("spec.doacross-window").expect("known workload");
+    Compiler::with_options(CompileOptions::gcc_o3())
+        .compile(&w.train_program)
+        .expect("workload compiles")
+}
+
+fn run_native(binary: &JBinary, threads: u32) -> JanusReport {
+    Janus::with_config(JanusConfig {
+        threads,
+        backend: BackendKind::NativeThreads,
+        ..JanusConfig::default()
+    })
+    .run(binary, &[])
+    .expect("pipeline succeeds")
+}
+
+/// Everything the run reports that must not depend on the race the OS
+/// happened to schedule.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    memory_digest: u64,
+    output_ints: Vec<i64>,
+    output_floats: Vec<f64>,
+    cycles: u64,
+    exit_code: i64,
+    // The table-3 surface: invocations, iterations, executions, aborts,
+    // validations, fallbacks — plus the derived retry/abort-rate inputs.
+    spec: (u64, u64, u64, u64, u64, u64),
+    os_threads_used: u64,
+}
+
+fn fingerprint(report: &JanusReport) -> Fingerprint {
+    let s = &report.parallel.stats;
+    Fingerprint {
+        memory_digest: report.parallel.memory_digest,
+        output_ints: report.parallel.output_ints.clone(),
+        output_floats: report.parallel.output_floats.clone(),
+        cycles: report.parallel.cycles,
+        exit_code: report.parallel.exit_code,
+        spec: (
+            s.spec_invocations,
+            s.spec_iterations,
+            s.spec_executions,
+            s.spec_aborts,
+            s.spec_validations,
+            s.spec_fallbacks,
+        ),
+        os_threads_used: s.os_threads_used,
+    }
+}
+
+#[test]
+fn twenty_native_runs_are_bit_identical() {
+    let binary = compile_once();
+    let first = run_native(&binary, 4);
+    assert!(first.outputs_match, "doacross-window must reproduce output");
+    assert!(
+        first.parallel.stats.spec_invocations > 0,
+        "the workload must actually speculate"
+    );
+    assert!(
+        first.parallel.stats.spec_aborts > 0,
+        "doacross-window must conflict (that is the point of the stress)"
+    );
+    assert!(
+        first.os_threads_used() > 1,
+        "incarnations must race on >1 OS thread, got {}",
+        first.os_threads_used()
+    );
+    let reference = fingerprint(&first);
+    for attempt in 1..20 {
+        let report = run_native(&binary, 4);
+        assert_eq!(
+            fingerprint(&report),
+            reference,
+            "run {attempt}: native speculative run drifted from run 0 — \
+             a racing artifact leaked into the reported statistics"
+        );
+    }
+}

@@ -23,9 +23,15 @@
 //! abstraction ([`janus_spec::LaneSet`]) that the speculation engine uses,
 //! so reported cycle counts are deterministic and comparable regardless of
 //! where the chunks physically ran. The speculative (`SPECULATE`) path is
-//! also routed through the trait: both backends currently drive the
-//! deterministic `janus-spec` engine on the coordinating thread (the
-//! native-threads backend additionally measures wall-clock time for it).
+//! also routed through the trait: the virtual-time backend drives the
+//! deterministic `janus-spec` coordinator engine, while the native-threads
+//! backend first *races* the incarnations across a real Block-STM worker
+//! pool ([`janus_spec::run_speculative_pooled`], one OS thread per lane)
+//! over the read-only memory image and then replays the deterministic
+//! engine in commit order for the modelled statistics and the commit — the
+//! two serial-equivalent final images are cross-checked word for word, so
+//! speculative results stay bit-identical across backends while the wall
+//! clock measures the actual fan-out.
 
 use crate::runtime::LoopRt;
 use crate::{DbmConfig, DbmError, Result};
@@ -297,6 +303,9 @@ pub struct SpecInvocationOutcome {
     pub(crate) result: std::result::Result<SpecOutcome<(Cpu, u64)>, SpecError<DbmError>>,
     /// Wall-clock nanoseconds of the invocation (0 under virtual time).
     pub wall_nanos: u64,
+    /// OS worker threads the invocation's racing pool spawned (0 under
+    /// virtual time).
+    pub os_threads: u64,
 }
 
 impl fmt::Debug for SpecInvocationOutcome {
@@ -304,16 +313,19 @@ impl fmt::Debug for SpecInvocationOutcome {
         f.debug_struct("SpecInvocationOutcome")
             .field("ok", &self.result.is_ok())
             .field("wall_nanos", &self.wall_nanos)
+            .field("os_threads", &self.os_threads)
             .finish()
     }
 }
 
 /// The loop body driven by the speculation engine for one iteration.
-pub type SpecBody<'a> =
-    &'a mut dyn FnMut(
-        usize,
-        &mut SpecView<'_, FlatMemory>,
-    ) -> std::result::Result<IterationRun<(Cpu, u64)>, DbmError>;
+/// `Fn + Sync`: the native-threads backend calls it concurrently from racing
+/// worker threads, one incarnation per call.
+pub type SpecBody<'a> = &'a (dyn Fn(
+    usize,
+    &mut SpecView<'_, FlatMemory>,
+) -> std::result::Result<IterationRun<(Cpu, u64)>, DbmError>
+         + Sync);
 
 mod sealed {
     /// The backend set is closed: plans and results carry crate-private
@@ -433,6 +445,7 @@ impl ExecutionBackend for VirtualTimeBackend {
         SpecInvocationOutcome {
             result,
             wall_nanos: 0,
+            os_threads: 0,
         }
     }
 }
@@ -538,15 +551,51 @@ impl ExecutionBackend for NativeThreadsBackend {
         iterations: usize,
         body: SpecBody<'_>,
     ) -> SpecInvocationOutcome {
-        // The multi-version engine is single-coordinator by construction;
-        // driving it exactly as the virtual-time backend does keeps
-        // speculative results identical across backends, while the wall
-        // clock records what the invocation cost. Fanning incarnation
-        // execution out across OS threads is the next step on the roadmap.
+        // Two passes, one invocation. First the *racing pool*: one OS worker
+        // per lane pulls execution/validation tasks from the shared atomic
+        // scheduler and runs incarnations concurrently over the read-only
+        // memory image — this is where the wall clock is spent and what
+        // `os_threads_used` reports. Then the *deterministic coordinator*
+        // replays the invocation in commit order on this thread; its
+        // modelled cycles, abort counts and payloads are what the run
+        // reports (bit-identical to the virtual-time backend by
+        // construction) and its commit is what lands in guest memory. The
+        // two engines must agree on the serial-equivalent final image
+        // whenever the race completes (a pool that gave up with `AbortLimit`
+        // has no image to compare): the comparison runs word for word in
+        // every build, asserts in test/debug builds, and in release builds
+        // logs the divergence and keeps the deterministic result — no panic,
+        // the correct outcome is already in hand. The cross-backend
+        // equivalence battery re-checks the same invariant end to end
+        // through `DbmRunResult::memory_digest`.
+        let threads = spec_config.lanes.max(1) as usize;
         let start = Instant::now();
+        let raced =
+            janus_spec::run_speculative_pooled(spec_config, threads, &*base, iterations, body);
+        let wall_nanos = start.elapsed().as_nanos() as u64;
+        let os_threads = raced
+            .as_ref()
+            .map_or(threads.min(iterations.max(1)), |r| r.threads_used)
+            as u64;
         let mut outcome =
             VirtualTimeBackend.run_speculative_invocation(spec_config, base, iterations, body);
-        outcome.wall_nanos = start.elapsed().as_nanos() as u64;
+        if let (Ok(raced), Ok(deterministic)) = (&raced, &outcome.result) {
+            let diverged = raced.image != deterministic.image || raced.live_estimates != 0;
+            if diverged {
+                debug_assert!(
+                    false,
+                    "racing Block-STM pool diverged from the deterministic engine \
+                     (live estimates: {})",
+                    raced.live_estimates
+                );
+                eprintln!(
+                    "janus-dbm: racing speculative pool diverged from the \
+                     deterministic engine; keeping the deterministic result"
+                );
+            }
+        }
+        outcome.wall_nanos = wall_nanos;
+        outcome.os_threads = os_threads;
         outcome
     }
 }

@@ -46,13 +46,17 @@
 //!   same worker-lane code path (so cycle counts remain deterministic and
 //!   comparable), while wall-clock time and the number of OS threads spawned
 //!   are additionally reported in [`DbmStats::parallel_wall_nanos`] and
-//!   [`DbmStats::os_threads_used`]. Speculative (`SPECULATE`) invocations and
-//!   the coordinating rewrite-rule interpreter still run on the main thread
-//!   in both backends; OS-thread fan-out applies to DOALL / dynamic-DOALL
-//!   chunk batches, except that loops whose schedule carries `TX_START`
-//!   rules (STM-wrapped shared-library calls, i.e. potential cross-chunk
-//!   dependences) conservatively take the sequential chunk path so guest
-//!   results stay identical by construction.
+//!   [`DbmStats::os_threads_used`]. Speculative (`SPECULATE`) invocations
+//!   race their incarnations on a Block-STM worker pool
+//!   ([`janus_spec::run_speculative_pooled`], one OS thread per lane) over a
+//!   read-only view of guest memory, then replay the deterministic
+//!   coordinator engine in commit order for the modelled statistics and the
+//!   commit, cross-checking the two serial-equivalent final images — so
+//!   speculative reports stay bit-identical to the virtual-time backend.
+//!   Only loops whose schedule carries `TX_START` rules (STM-wrapped
+//!   shared-library calls, i.e. potential cross-chunk dependences)
+//!   conservatively take the sequential chunk path so guest results stay
+//!   identical by construction.
 //!
 //! Pick the virtual-time backend to reproduce the paper's figures, and the
 //! native-threads backend to exercise real parallel hardware (thread-scaling

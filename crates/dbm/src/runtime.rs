@@ -741,81 +741,80 @@ impl Dbm {
         let step = lr.step;
         let mut base = std::mem::take(&mut self.mem);
 
-        let mut body =
-            |iter: usize,
-             view: &mut janus_spec::SpecView<'_, FlatMemory>|
-             -> std::result::Result<janus_spec::IterationRun<(Cpu, u64)>, DbmError> {
-                let mut cpu = template.clone();
-                let value = start + iter as i64 * step;
-                cpu.write_gpr(ind_reg, value);
-                // Privatised reduction accumulators: iteration 0 keeps the
-                // incoming value, the others start from the identity.
-                if iter > 0 {
-                    for (var, _, is_float) in reductions {
-                        let zero = if *is_float { 0f64.to_bits() as i64 } else { 0 };
-                        if let VarSpec::Reg(r) = var {
-                            let reg = Reg::from_raw(*r).expect("valid register in rule");
-                            if reg.is_gpr() {
-                                cpu.write_gpr(reg, zero);
-                            } else {
-                                cpu.write_f64(reg, f64::from_bits(zero as u64));
-                            }
+        // `Fn + Sync`, not `FnMut`: the native backend calls the body
+        // concurrently from racing pool workers (every capture is read-only;
+        // per-incarnation state lives in the cloned `Cpu` and the view).
+        let body = |iter: usize,
+                    view: &mut janus_spec::SpecView<'_, FlatMemory>|
+         -> std::result::Result<janus_spec::IterationRun<(Cpu, u64)>, DbmError> {
+            let mut cpu = template.clone();
+            let value = start + iter as i64 * step;
+            cpu.write_gpr(ind_reg, value);
+            // Privatised reduction accumulators: iteration 0 keeps the
+            // incoming value, the others start from the identity.
+            if iter > 0 {
+                for (var, _, is_float) in reductions {
+                    let zero = if *is_float { 0f64.to_bits() as i64 } else { 0 };
+                    if let VarSpec::Reg(r) = var {
+                        let reg = Reg::from_raw(*r).expect("valid register in rule");
+                        if reg.is_gpr() {
+                            cpu.write_gpr(reg, zero);
+                        } else {
+                            cpu.write_f64(reg, f64::from_bits(zero as u64));
                         }
                     }
                 }
-                // LOOP_UPDATE_BOUND specialised to exactly one iteration.
-                let iter_end = value + step;
-                let bound = match continue_cond {
-                    3 | 5 => iter_end - step, // Le / Ge
-                    _ => iter_end,
-                };
-                cpu.pc = header;
-                loop {
-                    if cpu.cycles > cycle_limit {
-                        return Err(DbmError::CycleLimitExceeded { limit: cycle_limit });
-                    }
-                    let pc = cpu.pc;
-                    if finish_addrs.contains(&pc) {
-                        return Ok(janus_spec::IterationRun {
-                            cycles: cpu.cycles,
-                            payload: (cpu, pc),
-                        });
-                    }
-                    let mut inst = process.inst_at(pc)?.clone();
-                    if pc == bound_cmp_addr {
-                        if let Inst::Cmp { lhs, .. } = inst {
-                            inst = Inst::Cmp {
-                                lhs,
-                                rhs: Operand::Imm(bound),
-                            };
-                        }
-                    }
-                    let next_pc = pc + INST_SIZE as u64;
-                    match exec_inst(&mut cpu, &mut *view, &inst, next_pc)? {
-                        Effect::Continue => cpu.pc = next_pc,
-                        Effect::Jump(t) => cpu.pc = t,
-                        // Calls and system calls are excluded from
-                        // speculative loops by classification; reaching one
-                        // here means the iteration ran off consistent state
-                        // (the engine retries) or the schedule is bad.
-                        other => {
-                            return Err(DbmError::BadRule {
-                                reason: format!(
-                                    "unsupported control flow in speculative loop: {other:?}"
-                                ),
-                            })
-                        }
-                    }
-                }
+            }
+            // LOOP_UPDATE_BOUND specialised to exactly one iteration.
+            let iter_end = value + step;
+            let bound = match continue_cond {
+                3 | 5 => iter_end - step, // Le / Ge
+                _ => iter_end,
             };
-        let invocation = backend.run_speculative_invocation(
-            &spec_config,
-            &mut base,
-            iterations as usize,
-            &mut body,
-        );
+            cpu.pc = header;
+            loop {
+                if cpu.cycles > cycle_limit {
+                    return Err(DbmError::CycleLimitExceeded { limit: cycle_limit });
+                }
+                let pc = cpu.pc;
+                if finish_addrs.contains(&pc) {
+                    return Ok(janus_spec::IterationRun {
+                        cycles: cpu.cycles,
+                        payload: (cpu, pc),
+                    });
+                }
+                let mut inst = process.inst_at(pc)?.clone();
+                if pc == bound_cmp_addr {
+                    if let Inst::Cmp { lhs, .. } = inst {
+                        inst = Inst::Cmp {
+                            lhs,
+                            rhs: Operand::Imm(bound),
+                        };
+                    }
+                }
+                let next_pc = pc + INST_SIZE as u64;
+                match exec_inst(&mut cpu, &mut *view, &inst, next_pc)? {
+                    Effect::Continue => cpu.pc = next_pc,
+                    Effect::Jump(t) => cpu.pc = t,
+                    // Calls and system calls are excluded from
+                    // speculative loops by classification; reaching one
+                    // here means the iteration ran off consistent state
+                    // (the engine retries) or the schedule is bad.
+                    other => {
+                        return Err(DbmError::BadRule {
+                            reason: format!(
+                                "unsupported control flow in speculative loop: {other:?}"
+                            ),
+                        })
+                    }
+                }
+            }
+        };
+        let invocation =
+            backend.run_speculative_invocation(&spec_config, &mut base, iterations as usize, &body);
         self.mem = base;
         self.stats.parallel_wall_nanos += invocation.wall_nanos;
+        self.stats.os_threads_used = self.stats.os_threads_used.max(invocation.os_threads);
 
         let outcome = match invocation.result {
             Ok(outcome) => outcome,

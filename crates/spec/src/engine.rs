@@ -6,7 +6,7 @@
 use crate::mv::{MvMemory, ReadOrigin, ReadResult, ReadSet};
 use crate::scheduler::{LaneSet, Lanes, Scheduler, Task};
 use crate::{SpecConfig, SpecError, SpecStats};
-use janus_vm::GuestMemory;
+use janus_vm::{GuestMemory, PeekMemory};
 use std::fmt;
 
 /// What one incarnation of the loop body reports back to the engine.
@@ -29,6 +29,11 @@ pub struct SpecOutcome<P> {
     /// The payload of each iteration's validated incarnation, in iteration
     /// order.
     pub payloads: Vec<P>,
+    /// The committed final memory image, sorted by word address — the exact
+    /// writes applied to base memory. Exposed so callers can cross-check two
+    /// engines (the deterministic coordinator and the racing worker pool)
+    /// against each other word for word.
+    pub image: Vec<(u64, u64)>,
 }
 
 impl<P> fmt::Debug for SpecOutcome<P> {
@@ -37,6 +42,7 @@ impl<P> fmt::Debug for SpecOutcome<P> {
             .field("stats", &self.stats)
             .field("parallel_cycles", &self.parallel_cycles)
             .field("payloads", &self.payloads.len())
+            .field("image", &self.image.len())
             .finish()
     }
 }
@@ -77,7 +83,7 @@ pub fn run_speculative<M, P, E, F>(
     body: F,
 ) -> Result<SpecOutcome<P>, SpecError<E>>
 where
-    M: GuestMemory,
+    M: GuestMemory + PeekMemory,
     F: FnMut(usize, &mut crate::SpecView<'_, M>) -> Result<IterationRun<P>, E>,
 {
     run_speculative_with_lanes(config, Lanes::new(config.lanes), base, iterations, body)
@@ -100,7 +106,7 @@ pub fn run_speculative_with_lanes<M, P, E, F, L>(
     mut body: F,
 ) -> Result<SpecOutcome<P>, SpecError<E>>
 where
-    M: GuestMemory,
+    M: GuestMemory + PeekMemory,
     F: FnMut(usize, &mut crate::SpecView<'_, M>) -> Result<IterationRun<P>, E>,
     L: LaneSet,
 {
@@ -113,11 +119,12 @@ where
             stats,
             parallel_cycles: 0,
             payloads: Vec::new(),
+            image: Vec::new(),
         });
     }
 
-    let mut mv = MvMemory::new();
-    let mut sched = Scheduler::new(iterations);
+    let mv = MvMemory::new(iterations);
+    let sched = Scheduler::new(iterations);
     let mut data: Vec<IterData<P>> = (0..iterations).map(|_| IterData::default()).collect();
 
     let max_tasks = (iterations as u64)
@@ -141,7 +148,7 @@ where
                 incarnation,
             } => {
                 let now = lanes.next_start();
-                let mut view = crate::SpecView::new(&mut *base, &mv, iteration, now);
+                let mut view = crate::SpecView::new(&*base, &mv, iteration, now);
                 match body(iteration, &mut view) {
                     Ok(run) => {
                         let (read_set, write_buffer, blocked, vs) = view.finish();
@@ -183,10 +190,10 @@ where
                     }
                 }
             }
-            Task::Validation { iteration } => {
+            Task::Validation { iteration, .. } => {
                 stats.validations += 1;
                 let read_set = &data[iteration].read_set;
-                let ok = validate(&mv, &mut *base, iteration, read_set);
+                let ok = validate(&mv, &*base, iteration, read_set);
                 let mut cost =
                     config.validate_base_cost + read_set.len() as u64 * config.validate_read_cost;
                 if !ok {
@@ -206,7 +213,7 @@ where
     // the serial-equivalent final value.
     let image = mv.final_image();
     lanes.charge(config.commit_cost_per_write * image.len() as u64);
-    for (word, value) in image {
+    for &(word, value) in &image {
         base.write_u64(word, value);
     }
     let mv_stats = mv.stats();
@@ -220,16 +227,18 @@ where
         stats,
         parallel_cycles: lanes.makespan(),
         payloads,
+        image,
     })
 }
 
 /// Lazy validation of one iteration's read set against the *current*
 /// multi-version state: a read is still good when it would re-resolve to the
 /// same version (read-from check) or, failing that, to the same value (value
-/// check — the JudoSTM trick that forgives silent re-writes).
-fn validate<M: GuestMemory>(
+/// check — the JudoSTM trick that forgives silent re-writes). Shared by the
+/// deterministic coordinator engine and the racing worker pool.
+pub(crate) fn validate<M: PeekMemory>(
     mv: &MvMemory,
-    base: &mut M,
+    base: &M,
     iteration: usize,
     read_set: &ReadSet,
 ) -> bool {
@@ -239,7 +248,7 @@ fn validate<M: GuestMemory>(
             ReadResult::Versioned(now_origin, now_value) => {
                 now_origin == origin || now_value == value
             }
-            ReadResult::Base => origin == ReadOrigin::Base || base.read_u64(word) == value,
+            ReadResult::Base => origin == ReadOrigin::Base || base.peek_u64(word) == value,
         },
     )
 }

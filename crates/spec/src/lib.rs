@@ -25,9 +25,32 @@
 //!   thread; [`scheduler::Lanes`] charges every task to the least-loaded of
 //!   `lanes` virtual workers so the reported parallel time is a reproducible
 //!   model of `lanes`-way execution.
-//! * [`run_speculative`] — the engine: dispatches tasks until every iteration
-//!   validates, re-executing **only the dependents of a failed iteration**,
-//!   then commits the serial-equivalent final image into base memory.
+//! * [`run_speculative`] — the deterministic engine: dispatches tasks until
+//!   every iteration validates, re-executing **only the dependents of a
+//!   failed iteration**, then commits the serial-equivalent final image into
+//!   base memory.
+//! * [`run_speculative_pooled`] — the **racing worker pool**: the same task
+//!   machine driven concurrently by one OS thread per lane
+//!   (`std::thread::scope`), made possible by the thread-safe store and
+//!   scheduler. Workers observe real Block-STM visibility (everything
+//!   recorded so far); the converged image is serial-equivalent on every
+//!   schedule, while the abort/retry counters describe the actual race and
+//!   vary run to run.
+//!
+//! ## Two execution modes
+//!
+//! Every subsystem here is shared between two drivers. The *deterministic
+//! coordinator* ([`run_speculative`]) runs tasks one at a time, gates
+//! multi-version visibility by virtual lane time, and therefore produces
+//! bit-identical conflicts, abort counts and modelled parallel cycles on
+//! every run and every machine — it is what all figures are built from. The
+//! *racing pool* ([`run_speculative_pooled`]) runs the same tasks on real
+//! threads for real wall-clock speedup. `janus-dbm`'s native-threads backend
+//! pairs them: the pool races first over the read-only memory image, the
+//! coordinator then replays the invocation in commit order for the modelled
+//! numbers, and the two final images are cross-checked word for word — which
+//! is why modelled cycles (and every figure) are invariant across execution
+//! backends.
 //!
 //! ## Lazy validation vs. the JudoSTM design
 //!
@@ -94,12 +117,14 @@
 
 mod engine;
 mod mv;
+mod pool;
 pub mod scheduler;
 
 pub use engine::{run_speculative, run_speculative_with_lanes, IterationRun, SpecOutcome};
 pub use mv::{
     Incarnation, Iteration, MvMemory, MvStats, ReadOrigin, ReadResult, ReadSet, SpecView, ViewStats,
 };
+pub use pool::{run_speculative_pooled, PooledOutcome};
 pub use scheduler::{LaneSet, Lanes};
 
 use std::fmt;

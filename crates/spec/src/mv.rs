@@ -6,25 +6,46 @@
 //! incarnation wrote there. A speculative read by iteration `i` observes the
 //! value written by the *highest iteration below `i`* — exactly the Block-STM
 //! visibility rule — with one refinement that keeps the whole engine
-//! deterministic on a single host thread: every entry is stamped with the
-//! virtual time at which its incarnation finished executing, and an execution
-//! that starts at virtual time `t` only sees entries recorded at or before
-//! `t`. Two iterations that would race on real hardware therefore conflict in
-//! exactly the same (reproducible) way on every run.
+//! deterministic when driven from a single coordinator thread: every entry is
+//! stamped with the virtual time at which its incarnation finished executing,
+//! and an execution that starts at virtual time `t` only sees entries
+//! recorded at or before `t`. Two iterations that would race on real hardware
+//! therefore conflict in exactly the same (reproducible) way on every run.
+//! The racing worker pool ([`crate::run_speculative_pooled`]) opts out of the
+//! gate by reading at `t = u64::MAX`: workers observe everything recorded so
+//! far, which is classic Block-STM visibility.
 //!
 //! When an incarnation is aborted its entries are replaced by *estimate*
 //! markers: a later iteration that reads an estimate knows a lower iteration
 //! is about to rewrite that word and blocks on it instead of wasting a full
 //! execution that is doomed to fail validation.
+//!
+//! ## Thread safety
+//!
+//! The store is safe to share across OS worker threads: the word map is
+//! sharded over [`RwLock`]s (readers of different words proceed in parallel,
+//! writers only contend within a shard), per-iteration write-set bookkeeping
+//! sits behind per-iteration [`Mutex`]es (the scheduler guarantees at most
+//! one live incarnation per iteration, so these never contend), and the
+//! counters are atomics. All operations take `&self`; driven from a single
+//! thread the behaviour is bit-identical to the pre-concurrency store, which
+//! is what keeps the deterministic virtual-time engine reproducible.
 
-use janus_vm::GuestMemory;
+use janus_vm::{GuestMemory, PeekMemory};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
 
 /// Index of a loop iteration inside one speculative invocation.
 pub type Iteration = usize;
 
 /// The i-th re-execution of an iteration, counting from 0.
 pub type Incarnation = u32;
+
+/// Number of word-map shards. A small power of two: enough to keep eight
+/// workers from serialising on one lock, small enough that collecting the
+/// final image stays cheap.
+const SHARDS: usize = 16;
 
 /// Where a speculative read obtained its value from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,39 +104,76 @@ pub struct MvStats {
 }
 
 /// The multi-version memory: `(word address, iteration) -> value`, layered
-/// over a [`GuestMemory`] base that is only read, never written, until the
-/// final commit.
-#[derive(Debug, Default)]
+/// over a base memory that is only read, never written, until the final
+/// commit. Shareable across worker threads; see the module docs.
+#[derive(Debug)]
 pub struct MvMemory {
-    words: HashMap<u64, BTreeMap<Iteration, Entry>>,
+    shards: Vec<RwLock<HashMap<u64, BTreeMap<Iteration, Entry>>>>,
     /// The word set written by the latest incarnation of each iteration, used
     /// to remove stale entries when the next incarnation writes less.
-    last_writes: HashMap<Iteration, Vec<u64>>,
-    stats: MvStats,
+    last_writes: Vec<Mutex<Vec<u64>>>,
+    entries_recorded: AtomicU64,
+    estimates_created: AtomicU64,
 }
 
 impl MvMemory {
-    /// An empty store.
+    /// An empty store for an invocation of `iterations` iterations.
     #[must_use]
-    pub fn new() -> MvMemory {
-        MvMemory::default()
+    pub fn new(iterations: usize) -> MvMemory {
+        MvMemory {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            last_writes: (0..iterations).map(|_| Mutex::new(Vec::new())).collect(),
+            entries_recorded: AtomicU64::new(0),
+            estimates_created: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, word: u64) -> &RwLock<HashMap<u64, BTreeMap<Iteration, Entry>>> {
+        // Word addresses are 8-byte aligned; hash the word index, not the
+        // low zero bits.
+        &self.shards[((word >> 3) as usize) % SHARDS]
     }
 
     /// Counters accumulated so far.
     #[must_use]
     pub fn stats(&self) -> MvStats {
         MvStats {
-            words: self.words.len() as u64,
-            ..self.stats
+            words: self
+                .shards
+                .iter()
+                .map(|s| s.read().expect("mv shard poisoned").len() as u64)
+                .sum(),
+            entries_recorded: self.entries_recorded.load(Ordering::Relaxed),
+            estimates_created: self.estimates_created.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of estimate markers currently live in the store. Zero once
+    /// every iteration has (re-)executed and validated — the invariant the
+    /// convergence tests assert.
+    #[must_use]
+    pub fn live_estimates(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .expect("mv shard poisoned")
+                    .values()
+                    .flat_map(|versions| versions.values())
+                    .filter(|e| matches!(e, Entry::Estimate { .. }))
+                    .count() as u64
+            })
+            .sum()
     }
 
     /// Resolves a read of `word` by `iteration` whose execution started at
     /// virtual time `now`. Pass [`u64::MAX`] to see every entry (validation
-    /// and commit are "late" and observe the full store).
+    /// and commit are "late" and observe the full store; racing workers use
+    /// the same to get real Block-STM visibility).
     #[must_use]
     pub fn read(&self, word: u64, iteration: Iteration, now: u64) -> ReadResult {
-        let Some(versions) = self.words.get(&word) else {
+        let shard = self.shard(word).read().expect("mv shard poisoned");
+        let Some(versions) = shard.get(&word) else {
             return ReadResult::Base;
         };
         for (&it, entry) in versions.range(..iteration).rev() {
@@ -146,8 +204,11 @@ impl MvMemory {
     /// previous incarnation but absent from the new write set are removed.
     /// Returns `true` when the incarnation wrote to a word its predecessor
     /// did not touch (Block-STM's `wrote_new_location`).
+    ///
+    /// The scheduler dispatches at most one live incarnation per iteration,
+    /// so concurrent `record` calls always target different iterations.
     pub fn record(
-        &mut self,
+        &self,
         iteration: Iteration,
         incarnation: Incarnation,
         writes: &HashMap<u64, u64>,
@@ -155,31 +216,40 @@ impl MvMemory {
     ) -> bool {
         let mut wrote_new = false;
         for (&word, &value) in writes {
-            let prev = self.words.entry(word).or_default().insert(
-                iteration,
-                Entry::Data {
-                    incarnation,
-                    value,
-                    at,
-                },
-            );
+            let prev = self
+                .shard(word)
+                .write()
+                .expect("mv shard poisoned")
+                .entry(word)
+                .or_default()
+                .insert(
+                    iteration,
+                    Entry::Data {
+                        incarnation,
+                        value,
+                        at,
+                    },
+                );
             wrote_new |= prev.is_none();
-            self.stats.entries_recorded += 1;
+            self.entries_recorded.fetch_add(1, Ordering::Relaxed);
         }
-        let prev_words = self
-            .last_writes
-            .insert(iteration, {
-                let mut v: Vec<u64> = writes.keys().copied().collect();
-                v.sort_unstable();
-                v
-            })
-            .unwrap_or_default();
+        let prev_words = {
+            let mut new: Vec<u64> = writes.keys().copied().collect();
+            new.sort_unstable();
+            std::mem::replace(
+                &mut *self.last_writes[iteration]
+                    .lock()
+                    .expect("mv write set poisoned"),
+                new,
+            )
+        };
         for word in prev_words {
             if !writes.contains_key(&word) {
-                if let Some(versions) = self.words.get_mut(&word) {
+                let mut shard = self.shard(word).write().expect("mv shard poisoned");
+                if let Some(versions) = shard.get_mut(&word) {
                     versions.remove(&iteration);
                     if versions.is_empty() {
-                        self.words.remove(&word);
+                        shard.remove(&word);
                     }
                 }
             }
@@ -189,17 +259,19 @@ impl MvMemory {
 
     /// Replaces every entry of `iteration`'s latest incarnation with an
     /// estimate marker (called when the incarnation is aborted).
-    pub fn convert_writes_to_estimates(&mut self, iteration: Iteration, at: u64) {
-        if let Some(words) = self.last_writes.get(&iteration) {
-            for word in words {
-                if let Some(entry) = self
-                    .words
-                    .get_mut(word)
-                    .and_then(|versions| versions.get_mut(&iteration))
-                {
-                    *entry = Entry::Estimate { at };
-                    self.stats.estimates_created += 1;
-                }
+    pub fn convert_writes_to_estimates(&self, iteration: Iteration, at: u64) {
+        let words = self.last_writes[iteration]
+            .lock()
+            .expect("mv write set poisoned")
+            .clone();
+        for word in words {
+            let mut shard = self.shard(word).write().expect("mv shard poisoned");
+            if let Some(entry) = shard
+                .get_mut(&word)
+                .and_then(|versions| versions.get_mut(&iteration))
+            {
+                *entry = Entry::Estimate { at };
+                self.estimates_created.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -210,13 +282,19 @@ impl MvMemory {
     #[must_use]
     pub fn final_image(&self) -> Vec<(u64, u64)> {
         let mut out: Vec<(u64, u64)> = self
-            .words
+            .shards
             .iter()
-            .filter_map(|(&word, versions)| {
-                versions.values().next_back().and_then(|entry| match entry {
-                    Entry::Data { value, .. } => Some((word, *value)),
-                    Entry::Estimate { .. } => None,
-                })
+            .flat_map(|s| {
+                let shard = s.read().expect("mv shard poisoned");
+                shard
+                    .iter()
+                    .filter_map(|(&word, versions)| {
+                        versions.values().next_back().and_then(|entry| match entry {
+                            Entry::Data { value, .. } => Some((word, *value)),
+                            Entry::Estimate { .. } => None,
+                        })
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect();
         out.sort_unstable();
@@ -253,12 +331,17 @@ pub struct ViewStats {
 /// multi-version store (restricted to entries visible at the incarnation's
 /// virtual start time), then shared memory — recording the origin and value
 /// of every shared read. Writes are buffered until the engine records them.
+///
+/// The base is borrowed *immutably* (through [`PeekMemory`]): any number of
+/// views — one per racing worker thread — can execute over the same shared
+/// image at once, and nothing touches the base until the final commit.
 #[derive(Debug)]
-pub struct SpecView<'a, M: GuestMemory> {
-    base: &'a mut M,
+pub struct SpecView<'a, M: PeekMemory> {
+    base: &'a M,
     mv: &'a MvMemory,
     iteration: Iteration,
-    /// Virtual time at which this incarnation started executing.
+    /// Virtual time at which this incarnation started executing
+    /// ([`u64::MAX`] for racing workers: see everything recorded so far).
     now: u64,
     read_set: ReadSet,
     write_buffer: HashMap<u64, u64>,
@@ -266,10 +349,10 @@ pub struct SpecView<'a, M: GuestMemory> {
     stats: ViewStats,
 }
 
-impl<'a, M: GuestMemory> SpecView<'a, M> {
+impl<'a, M: PeekMemory> SpecView<'a, M> {
     /// A fresh view for one incarnation of `iteration` starting at virtual
     /// time `now`.
-    pub fn new(base: &'a mut M, mv: &'a MvMemory, iteration: Iteration, now: u64) -> Self {
+    pub fn new(base: &'a M, mv: &'a MvMemory, iteration: Iteration, now: u64) -> Self {
         SpecView {
             base,
             mv,
@@ -312,7 +395,7 @@ impl<'a, M: GuestMemory> SpecView<'a, M> {
     }
 }
 
-impl<M: GuestMemory> GuestMemory for SpecView<'_, M> {
+impl<M: PeekMemory> GuestMemory for SpecView<'_, M> {
     fn read_u8(&mut self, addr: u64) -> u8 {
         let word = Self::aligned(addr);
         let v = self.read_u64(word);
@@ -335,13 +418,13 @@ impl<M: GuestMemory> GuestMemory for SpecView<'_, M> {
             self.stats.reads += 1;
             let (origin, value) = match self.mv.read(word, self.iteration, self.now) {
                 ReadResult::Versioned(origin, value) => (origin, value),
-                ReadResult::Base => (ReadOrigin::Base, self.base.read_u64(word)),
+                ReadResult::Base => (ReadOrigin::Base, self.base.peek_u64(word)),
                 ReadResult::Blocked(on) => {
                     // Remember the *lowest* blocking iteration; execution is
                     // abandoned by the engine, the value is a placeholder.
                     let lowest = self.blocked_on.map_or(on, |prev| prev.min(on));
                     self.blocked_on = Some(lowest);
-                    (ReadOrigin::Base, self.base.read_u64(word))
+                    (ReadOrigin::Base, self.base.peek_u64(word))
                 }
             };
             // First read wins: the incarnation's view of a word must be the
@@ -378,7 +461,7 @@ mod tests {
     fn reads_observe_highest_visible_lower_iteration() {
         let mut base = FlatMemory::new();
         base.write_u64(0x1000, 1);
-        let mut mv = MvMemory::new();
+        let mv = MvMemory::new(8);
         let w2: HashMap<u64, u64> = [(0x1000u64, 22u64)].into_iter().collect();
         let w5: HashMap<u64, u64> = [(0x1000u64, 55u64)].into_iter().collect();
         assert!(mv.record(2, 0, &w2, 10));
@@ -412,15 +495,17 @@ mod tests {
 
     #[test]
     fn estimates_block_readers_and_rerecording_clears_them() {
-        let mut mv = MvMemory::new();
+        let mv = MvMemory::new(8);
         let w: HashMap<u64, u64> = [(0x2000u64, 7u64)].into_iter().collect();
         mv.record(3, 0, &w, 5);
         mv.convert_writes_to_estimates(3, 6);
         assert_eq!(mv.read(0x2000, 4, 10), ReadResult::Blocked(3));
+        assert_eq!(mv.live_estimates(), 1);
         // The next incarnation writes elsewhere: the estimate is removed.
         let w2: HashMap<u64, u64> = [(0x2008u64, 8u64)].into_iter().collect();
         mv.record(3, 1, &w2, 12);
         assert_eq!(mv.read(0x2000, 4, 20), ReadResult::Base);
+        assert_eq!(mv.live_estimates(), 0);
         assert_eq!(
             mv.read(0x2008, 4, 20),
             ReadResult::Versioned(
@@ -437,8 +522,8 @@ mod tests {
     fn view_buffers_writes_and_records_first_read() {
         let mut base = FlatMemory::new();
         base.write_u64(0x3000, 9);
-        let mv = MvMemory::new();
-        let mut view = SpecView::new(&mut base, &mv, 0, 0);
+        let mv = MvMemory::new(1);
+        let mut view = SpecView::new(&base, &mv, 0, 0);
         assert_eq!(view.read_u64(0x3000), 9);
         view.write_u64(0x3000, 11);
         assert_eq!(view.read_u64(0x3000), 11, "reads observe own writes");
@@ -448,15 +533,15 @@ mod tests {
         assert!(blocked.is_none());
         assert_eq!(stats.reads, 1);
         assert_eq!(stats.writes, 1);
-        assert_eq!(base.read_u64(0x3000), 9, "base untouched until commit");
+        assert_eq!(base.peek_u64(0x3000), 9, "base untouched until commit");
     }
 
     #[test]
     fn byte_accesses_compose_through_words() {
         let mut base = FlatMemory::new();
         base.write_u64(0x1000, 0x1122_3344_5566_7788);
-        let mv = MvMemory::new();
-        let mut view = SpecView::new(&mut base, &mv, 0, 0);
+        let mv = MvMemory::new(1);
+        let mut view = SpecView::new(&base, &mv, 0, 0);
         assert_eq!(view.read_u8(0x1001), 0x77);
         view.write_u8(0x1001, 0xaa);
         assert_eq!(view.read_u8(0x1001), 0xaa);
@@ -466,7 +551,7 @@ mod tests {
 
     #[test]
     fn final_image_takes_the_highest_iteration_per_word() {
-        let mut mv = MvMemory::new();
+        let mv = MvMemory::new(8);
         mv.record(0, 0, &[(0x10u64, 1u64)].into_iter().collect(), 1);
         mv.record(4, 0, &[(0x10u64, 5u64), (0x18, 6)].into_iter().collect(), 2);
         mv.record(2, 0, &[(0x10u64, 3u64)].into_iter().collect(), 3);
@@ -475,5 +560,35 @@ mod tests {
         mv.commit_into(&mut base);
         assert_eq!(base.read_u64(0x10), 5);
         assert_eq!(base.read_u64(0x18), 6);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_lose_entries() {
+        // A smoke test of the sharded store itself: 8 threads record and
+        // re-read disjoint iterations' writes over a shared word pool.
+        let mv = MvMemory::new(64);
+        std::thread::scope(|scope| {
+            for t in 0..8usize {
+                let mv = &mv;
+                scope.spawn(move || {
+                    for k in 0..8usize {
+                        let iteration = t * 8 + k;
+                        let word = 0x9000 + (iteration as u64 % 16) * 8;
+                        let writes: HashMap<u64, u64> =
+                            [(word, iteration as u64)].into_iter().collect();
+                        mv.record(iteration, 0, &writes, 1);
+                        // The write is immediately visible to higher readers.
+                        match mv.read(word, iteration + 1, u64::MAX) {
+                            ReadResult::Versioned(_, _) => {}
+                            other => panic!("expected a versioned read, got {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        let stats = mv.stats();
+        assert_eq!(stats.entries_recorded, 64);
+        assert_eq!(stats.words, 16);
+        assert_eq!(mv.final_image().len(), 16);
     }
 }

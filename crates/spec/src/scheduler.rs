@@ -1,8 +1,38 @@
 //! The collaborative scheduler: Block-STM's execution/validation task state
-//! machine, driven deterministically from a single host thread, plus the
-//! virtual worker lanes that account every task in virtual time.
+//! machine, shareable across OS worker threads, plus the virtual worker
+//! lanes that account every task in virtual time.
+//!
+//! ## Thread safety
+//!
+//! Every method takes `&self`: the two task frontiers are atomics
+//! (lowered with `fetch_min` when aborts invalidate downstream work), each
+//! iteration's `(incarnation, status)` pair sits behind its own [`Mutex`],
+//! and dependency lists are mutex-guarded per iteration — the shape of
+//! `block-stm-revm`'s atomic scheduler. Driven from a single thread the
+//! task sequence is bit-identical to the original sequential scheduler,
+//! which keeps the deterministic virtual-time engine reproducible; driven
+//! from many threads, transitions are serialised per iteration and stale
+//! tasks are rejected by incarnation checks.
+//!
+//! ## The lost-wakeup window
+//!
+//! The racing pool resurfaces a classic Block-STM hazard the sequential
+//! driver never hit: iteration *i* reads *j*'s estimate and goes to sleep on
+//! *j* while, concurrently, *j* finishes re-executing and drains its
+//! dependents — if *i* enqueues itself after the drain, nobody ever wakes it.
+//! [`Scheduler::abort_on_dependency`] therefore (a) marks *i* `Aborting`
+//! *before* inspecting *j*, and (b) inspects *j*'s status and appends to
+//! *j*'s dependency list while holding *j*'s status lock, the same lock
+//! [`Scheduler::finish_execution`] holds to publish `Executed` before it
+//! drains. Either the enqueue happens before the status flip (the drain sees
+//! it) or after (the enqueue sees `Executed` and resumes *i* immediately);
+//! there is no in-between. The regression test
+//! `dependency_resuming_between_finish_and_repop_is_not_lost` pins the
+//! interleaving.
 
 use crate::mv::{Incarnation, Iteration};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Lifecycle of one iteration's current incarnation.
 ///
@@ -27,7 +57,7 @@ pub enum Status {
     Aborting,
 }
 
-/// A unit of work dispatched to a virtual lane.
+/// A unit of work dispatched to a (virtual or OS-thread) worker lane.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Task {
     /// Execute the named incarnation.
@@ -41,6 +71,10 @@ pub enum Task {
     Validation {
         /// Iteration to validate.
         iteration: Iteration,
+        /// Incarnation that was current when the task was popped; racing
+        /// validators use it to reject the task if the iteration has been
+        /// aborted and re-executed in the meantime.
+        incarnation: Incarnation,
     },
 }
 
@@ -48,9 +82,16 @@ pub enum Task {
 struct IterState {
     incarnation: Incarnation,
     status: Status,
+    /// Bumped every time a *lower* iteration re-records or aborts (the
+    /// demote sweep passes over this iteration): a racing validator that
+    /// began before the bump validated against superseded multi-version
+    /// state, and its verdict must not be allowed to stick. See
+    /// [`Scheduler::finish_validation_ok`].
+    revalidation_epoch: u64,
 }
 
-/// The deterministic collaborative scheduler.
+/// The collaborative scheduler (see the module docs for the concurrency
+/// story).
 ///
 /// Mirrors Block-STM's two shared counters: `execution_idx` is the next
 /// iteration to consider for execution, `validation_idx` the next to consider
@@ -59,12 +100,13 @@ struct IterState {
 /// execution at equal depth, exactly like the reference scheduler.
 #[derive(Debug)]
 pub struct Scheduler {
-    states: Vec<IterState>,
-    execution_idx: usize,
-    validation_idx: usize,
+    states: Vec<Mutex<IterState>>,
+    execution_idx: AtomicUsize,
+    validation_idx: AtomicUsize,
     /// `dependents[j]` = iterations blocked on an estimate written by `j`.
-    dependents: Vec<Vec<Iteration>>,
-    validated: usize,
+    /// Push only while holding `states[j]` (see the module docs).
+    dependents: Vec<Mutex<Vec<Iteration>>>,
+    validated: AtomicUsize,
 }
 
 impl Scheduler {
@@ -72,48 +114,60 @@ impl Scheduler {
     #[must_use]
     pub fn new(n: usize) -> Scheduler {
         Scheduler {
-            states: vec![
-                IterState {
-                    incarnation: 0,
-                    status: Status::ReadyToExecute,
-                };
-                n
-            ],
-            execution_idx: 0,
-            validation_idx: 0,
-            dependents: vec![Vec::new(); n],
-            validated: 0,
+            states: (0..n)
+                .map(|_| {
+                    Mutex::new(IterState {
+                        incarnation: 0,
+                        status: Status::ReadyToExecute,
+                        revalidation_epoch: 0,
+                    })
+                })
+                .collect(),
+            execution_idx: AtomicUsize::new(0),
+            validation_idx: AtomicUsize::new(0),
+            dependents: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            validated: AtomicUsize::new(0),
         }
     }
 
-    /// `true` once every iteration has validated.
+    fn state(&self, iteration: Iteration) -> std::sync::MutexGuard<'_, IterState> {
+        self.states[iteration]
+            .lock()
+            .expect("iteration state poisoned")
+    }
+
+    /// `true` once every iteration has validated. Stable under concurrency:
+    /// all-validated means no incarnation is in flight, so no transition can
+    /// demote anything again.
     #[must_use]
     pub fn done(&self) -> bool {
-        self.validated == self.states.len()
+        self.validated.load(Ordering::SeqCst) == self.states.len()
     }
 
     /// Current status of an iteration.
     #[must_use]
     pub fn status(&self, iteration: Iteration) -> (Incarnation, bool) {
-        let s = self.states[iteration];
+        let s = *self.state(iteration);
         (s.incarnation, s.status == Status::Validated)
     }
 
     /// Picks the next task, preferring the lower-indexed frontier and
     /// validation over execution at equal index (Block-STM's task order).
-    pub fn next_task(&mut self) -> Option<Task> {
-        if self.validation_idx <= self.execution_idx {
+    pub fn next_task(&self) -> Option<Task> {
+        if self.validation_idx.load(Ordering::SeqCst) <= self.execution_idx.load(Ordering::SeqCst) {
             self.next_validation().or_else(|| self.next_execution())
         } else {
             self.next_execution().or_else(|| self.next_validation())
         }
     }
 
-    fn next_execution(&mut self) -> Option<Task> {
-        while self.execution_idx < self.states.len() {
-            let i = self.execution_idx;
-            self.execution_idx += 1;
-            let s = &mut self.states[i];
+    fn next_execution(&self) -> Option<Task> {
+        loop {
+            let i = self.execution_idx.fetch_add(1, Ordering::SeqCst);
+            if i >= self.states.len() {
+                return None;
+            }
+            let mut s = self.state(i);
             if s.status == Status::ReadyToExecute {
                 s.status = Status::Executing;
                 return Some(Task::Execution {
@@ -122,32 +176,54 @@ impl Scheduler {
                 });
             }
         }
-        None
     }
 
-    fn next_validation(&mut self) -> Option<Task> {
-        while self.validation_idx < self.states.len() {
-            let i = self.validation_idx;
-            self.validation_idx += 1;
-            if self.states[i].status == Status::Executed {
-                return Some(Task::Validation { iteration: i });
+    fn next_validation(&self) -> Option<Task> {
+        loop {
+            let i = self.validation_idx.fetch_add(1, Ordering::SeqCst);
+            if i >= self.states.len() {
+                return None;
+            }
+            let s = self.state(i);
+            if s.status == Status::Executed {
+                return Some(Task::Validation {
+                    iteration: i,
+                    incarnation: s.incarnation,
+                });
             }
         }
-        None
     }
 
     /// The executed incarnation finished and recorded its writes.
     /// `changed_locations` is `true` when the write set differs from the
     /// previous incarnation's (new or removed words): everything above must
     /// then be revalidated. Iterations blocked on this one are resumed.
-    pub fn finish_execution(&mut self, iteration: Iteration, changed_locations: bool) {
-        debug_assert_eq!(self.states[iteration].status, Status::Executing);
-        self.states[iteration].status = Status::Executed;
-        if changed_locations || self.states[iteration].incarnation > 0 {
+    pub fn finish_execution(&self, iteration: Iteration, changed_locations: bool) {
+        let incarnation = {
+            let mut s = self.state(iteration);
+            debug_assert_eq!(s.status, Status::Executing);
+            s.status = Status::Executed;
+            s.incarnation
+        };
+        if changed_locations || incarnation > 0 {
             self.demote_validated_above(iteration);
         }
-        self.validation_idx = self.validation_idx.min(iteration);
-        for d in std::mem::take(&mut self.dependents[iteration]) {
+        self.validation_idx.fetch_min(iteration, Ordering::SeqCst);
+        // Drain dependents only after `Executed` is published under the
+        // status lock: a racing `abort_on_dependency` either enqueued before
+        // the flip (we see it here) or observed `Executed` and resumed its
+        // iteration itself.
+        let deps = {
+            // Hold the status lock across the drain so a concurrent enqueue
+            // cannot slip between the flip above and the take below.
+            let _s = self.state(iteration);
+            std::mem::take(
+                &mut *self.dependents[iteration]
+                    .lock()
+                    .expect("dependency list poisoned"),
+            )
+        };
+        for d in deps {
             self.resume(d);
         }
     }
@@ -155,32 +231,145 @@ impl Scheduler {
     /// Records the validation verdict. On failure the iteration is scheduled
     /// for its next incarnation and every validated iteration above it is
     /// demoted (its reads may have observed the aborted writes).
-    pub fn finish_validation(&mut self, iteration: Iteration, aborted: bool) {
-        debug_assert_eq!(self.states[iteration].status, Status::Executed);
+    ///
+    /// This is the single-coordinator entry point; racing validators use
+    /// [`Scheduler::try_validation_abort`] / [`Scheduler::finish_abort`] /
+    /// [`Scheduler::finish_validation_ok`] instead, which tolerate stale
+    /// tasks.
+    pub fn finish_validation(&self, iteration: Iteration, aborted: bool) {
         if aborted {
-            let s = &mut self.states[iteration];
+            // The same transition the racing handshake performs in two
+            // steps; sharing `finish_abort` keeps the subtle
+            // frontier-lowering/demote sequence in one place.
+            {
+                let mut s = self.state(iteration);
+                debug_assert_eq!(s.status, Status::Executed);
+                s.status = Status::Aborting;
+            }
+            self.finish_abort(iteration);
+        } else {
+            {
+                let mut s = self.state(iteration);
+                debug_assert_eq!(s.status, Status::Executed);
+                s.status = Status::Validated;
+            }
+            self.validated.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Claims the right to abort `iteration`'s `incarnation` after a failed
+    /// validation. Only one racing validator can win (the status moves to
+    /// [`Status::Aborting`]); a validator holding a stale task — the
+    /// iteration re-executed since the task was popped — loses and must drop
+    /// the task. The winner converts the incarnation's writes to estimates
+    /// and then calls [`Scheduler::finish_abort`].
+    pub fn try_validation_abort(&self, iteration: Iteration, incarnation: Incarnation) -> bool {
+        let mut s = self.state(iteration);
+        if s.status == Status::Executed && s.incarnation == incarnation {
+            s.status = Status::Aborting;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Completes a validation abort claimed via
+    /// [`Scheduler::try_validation_abort`]: schedules the next incarnation
+    /// and demotes/revalidates everything above.
+    pub fn finish_abort(&self, iteration: Iteration) {
+        {
+            let mut s = self.state(iteration);
+            debug_assert_eq!(s.status, Status::Aborting);
             s.status = Status::ReadyToExecute;
             s.incarnation += 1;
-            self.execution_idx = self.execution_idx.min(iteration);
-            self.demote_validated_above(iteration);
-            self.validation_idx = self.validation_idx.min(iteration + 1);
-        } else {
-            self.states[iteration].status = Status::Validated;
-            self.validated += 1;
         }
+        self.execution_idx.fetch_min(iteration, Ordering::SeqCst);
+        self.demote_validated_above(iteration);
+        self.validation_idx
+            .fetch_min(iteration + 1, Ordering::SeqCst);
+    }
+
+    /// The iteration's current revalidation epoch. A racing validator must
+    /// snapshot this *before* reading the multi-version store and hand it
+    /// back to [`Scheduler::finish_validation_ok`]: if a lower iteration
+    /// re-records or aborts in between, the demote sweep bumps the epoch and
+    /// the stale pass-verdict is rejected (the lowered validation frontier
+    /// guarantees a fresh task re-pops the iteration).
+    #[must_use]
+    pub fn validation_epoch(&self, iteration: Iteration) -> u64 {
+        self.state(iteration).revalidation_epoch
+    }
+
+    /// Marks `iteration`'s `incarnation` validated. Returns `false` (and
+    /// changes nothing) when the task is stale — the iteration was aborted
+    /// and re-executed after the validation task was popped, or a lower
+    /// iteration's re-record/abort bumped the revalidation epoch since the
+    /// validator snapshotted `epoch` (its verdict was computed against
+    /// superseded multi-version state). Without the epoch check a stale
+    /// pass could stick permanently: the demote sweep only downgrades
+    /// iterations already `Validated`, so a verdict landing *after* the
+    /// sweep would never be revisited.
+    pub fn finish_validation_ok(
+        &self,
+        iteration: Iteration,
+        incarnation: Incarnation,
+        epoch: u64,
+    ) -> bool {
+        {
+            let mut s = self.state(iteration);
+            if s.status != Status::Executed
+                || s.incarnation != incarnation
+                || s.revalidation_epoch != epoch
+            {
+                return false;
+            }
+            s.status = Status::Validated;
+        }
+        self.validated.fetch_add(1, Ordering::SeqCst);
+        true
     }
 
     /// The executing incarnation read an estimate written by `blocking` (or
     /// faulted on speculative state): abort it and wake it when `blocking`
     /// re-executes. If `blocking` has already re-executed, the iteration is
-    /// resumed immediately.
-    pub fn abort_on_dependency(&mut self, iteration: Iteration, blocking: Iteration) {
-        debug_assert_eq!(self.states[iteration].status, Status::Executing);
-        self.states[iteration].status = Status::Aborting;
-        match self.states[blocking].status {
-            Status::Executed | Status::Validated => self.resume(iteration),
-            _ => self.dependents[blocking].push(iteration),
+    /// resumed immediately. See the module docs for why the enqueue happens
+    /// under `blocking`'s status lock.
+    pub fn abort_on_dependency(&self, iteration: Iteration, blocking: Iteration) {
+        debug_assert!(blocking < iteration);
+        {
+            let mut s = self.state(iteration);
+            debug_assert_eq!(s.status, Status::Executing);
+            s.status = Status::Aborting;
         }
+        let resume_now = {
+            let b = self.state(blocking);
+            match b.status {
+                Status::Executed | Status::Validated => true,
+                _ => {
+                    self.dependents[blocking]
+                        .lock()
+                        .expect("dependency list poisoned")
+                        .push(iteration);
+                    false
+                }
+            }
+        };
+        if resume_now {
+            self.resume(iteration);
+        }
+    }
+
+    /// The executing incarnation faulted on speculative state with no
+    /// identifiable blocking iteration (racing pool only): re-dispatch it
+    /// immediately as the next incarnation.
+    pub fn abort_and_retry(&self, iteration: Iteration) {
+        {
+            let mut s = self.state(iteration);
+            debug_assert_eq!(s.status, Status::Executing);
+            s.status = Status::ReadyToExecute;
+            s.incarnation += 1;
+        }
+        self.execution_idx.fetch_min(iteration, Ordering::SeqCst);
     }
 
     /// The highest iteration below `iteration` that has not validated yet —
@@ -190,22 +379,43 @@ impl Scheduler {
     pub fn highest_unvalidated_below(&self, iteration: Iteration) -> Option<Iteration> {
         (0..iteration)
             .rev()
-            .find(|&j| self.states[j].status != Status::Validated)
+            .find(|&j| self.state(j).status != Status::Validated)
     }
 
-    fn resume(&mut self, iteration: Iteration) {
-        let s = &mut self.states[iteration];
-        debug_assert_eq!(s.status, Status::Aborting);
-        s.status = Status::ReadyToExecute;
-        s.incarnation += 1;
-        self.execution_idx = self.execution_idx.min(iteration);
+    fn resume(&self, iteration: Iteration) {
+        {
+            let mut s = self.state(iteration);
+            // A dependent can be drained twice in pathological racing
+            // interleavings (premature wake, re-enqueue, real wake); resuming
+            // is a no-op unless the iteration is still parked. The sequential
+            // driver never takes the lenient branch.
+            if s.status != Status::Aborting {
+                return;
+            }
+            s.status = Status::ReadyToExecute;
+            s.incarnation += 1;
+        }
+        self.execution_idx.fetch_min(iteration, Ordering::SeqCst);
     }
 
-    fn demote_validated_above(&mut self, iteration: Iteration) {
-        for s in &mut self.states[iteration + 1..] {
-            if s.status == Status::Validated {
-                s.status = Status::Executed;
-                self.validated -= 1;
+    fn demote_validated_above(&self, iteration: Iteration) {
+        for j in iteration + 1..self.states.len() {
+            let demoted = {
+                let mut s = self.state(j);
+                // Invalidate in-flight validators of `j` whatever its
+                // status: an `Executed` iteration mid-validation cannot be
+                // demoted here (it is not `Validated` yet), so the epoch is
+                // how its validator learns its verdict is stale.
+                s.revalidation_epoch += 1;
+                if s.status == Status::Validated {
+                    s.status = Status::Executed;
+                    true
+                } else {
+                    false
+                }
+            };
+            if demoted {
+                self.validated.fetch_sub(1, Ordering::SeqCst);
             }
         }
     }
@@ -305,7 +515,7 @@ mod tests {
 
     #[test]
     fn conflict_free_iterations_execute_then_validate_in_order() {
-        let mut s = Scheduler::new(3);
+        let s = Scheduler::new(3);
         let mut log = Vec::new();
         while !s.done() {
             match s.next_task().expect("work remains") {
@@ -313,7 +523,7 @@ mod tests {
                     log.push(format!("E{iteration}"));
                     s.finish_execution(iteration, true);
                 }
-                Task::Validation { iteration } => {
+                Task::Validation { iteration, .. } => {
                     log.push(format!("V{iteration}"));
                     s.finish_validation(iteration, false);
                 }
@@ -324,12 +534,12 @@ mod tests {
 
     #[test]
     fn aborted_validation_re_executes_with_a_higher_incarnation() {
-        let mut s = Scheduler::new(2);
+        let s = Scheduler::new(2);
         let Some(Task::Execution { iteration: 0, .. }) = s.next_task() else {
             panic!("expected execution of 0");
         };
         s.finish_execution(0, true);
-        let Some(Task::Validation { iteration: 0 }) = s.next_task() else {
+        let Some(Task::Validation { iteration: 0, .. }) = s.next_task() else {
             panic!("expected validation of 0");
         };
         s.finish_validation(0, true);
@@ -344,7 +554,7 @@ mod tests {
 
     #[test]
     fn dependency_wakes_when_blocking_iteration_finishes() {
-        let mut s = Scheduler::new(2);
+        let s = Scheduler::new(2);
         // Execute 0, abort its validation so 0 becomes ReadyToExecute(1).
         assert!(matches!(
             s.next_task(),
@@ -353,7 +563,7 @@ mod tests {
         s.finish_execution(0, true);
         assert!(matches!(
             s.next_task(),
-            Some(Task::Validation { iteration: 0 })
+            Some(Task::Validation { iteration: 0, .. })
         ));
         s.finish_validation(0, true);
         // 1 executes, reads 0's estimate, blocks on 0.
@@ -367,7 +577,7 @@ mod tests {
         s.finish_execution(0, true);
         assert!(matches!(
             s.next_task(),
-            Some(Task::Validation { iteration: 0 })
+            Some(Task::Validation { iteration: 0, .. })
         ));
         s.finish_validation(0, false);
         assert!(matches!(
@@ -377,7 +587,7 @@ mod tests {
         s.finish_execution(1, true);
         assert!(matches!(
             s.next_task(),
-            Some(Task::Validation { iteration: 1 })
+            Some(Task::Validation { iteration: 1, .. })
         ));
         s.finish_validation(1, false);
         assert!(s.done());
@@ -385,21 +595,224 @@ mod tests {
 
     #[test]
     fn abort_demotes_validated_iterations_above() {
-        let mut s = Scheduler::new(2);
+        let s = Scheduler::new(2);
         // Run both iterations to Validated.
         for _ in 0..2 {
             match s.next_task().unwrap() {
                 Task::Execution { iteration, .. } => s.finish_execution(iteration, true),
-                Task::Validation { iteration } => s.finish_validation(iteration, false),
+                Task::Validation { iteration, .. } => s.finish_validation(iteration, false),
             }
         }
         for _ in 0..2 {
             match s.next_task().unwrap() {
                 Task::Execution { iteration, .. } => s.finish_execution(iteration, true),
-                Task::Validation { iteration } => s.finish_validation(iteration, false),
+                Task::Validation { iteration, .. } => s.finish_validation(iteration, false),
             }
         }
         assert!(s.done());
+    }
+
+    /// Regression test for the lost-wakeup window (ISSUE 4, satellite 4):
+    /// with racing workers, iteration 1 can decide to block on iteration 0
+    /// *after* 0 has already finished its re-execution and drained its
+    /// dependents — under the old single-threaded decrement ordering the
+    /// enqueue would never be seen and 1 would sleep forever. The scheduler
+    /// must instead observe 0's `Executed` status and resume 1 immediately.
+    #[test]
+    fn dependency_resuming_between_finish_and_repop_is_not_lost() {
+        let s = Scheduler::new(2);
+        // Both iterations claimed concurrently (only possible with the
+        // thread-safe `&self` API — the sequential driver never holds two
+        // execution tasks at once).
+        let Some(Task::Execution { iteration: 0, .. }) = s.next_task() else {
+            panic!("expected execution of 0");
+        };
+        let Some(Task::Execution { iteration: 1, .. }) = s.next_task() else {
+            panic!("expected execution of 1");
+        };
+        // Worker A finishes 0 and drains its (empty) dependency list.
+        s.finish_execution(0, true);
+        // Worker B, which read 0's estimate earlier in its execution, only
+        // now reports the dependency — after the drain already happened.
+        s.abort_on_dependency(1, 0);
+        // 1 must not be parked: it is immediately re-dispatchable with a
+        // bumped incarnation.
+        let (incarnation, validated) = s.status(1);
+        assert_eq!(incarnation, 1, "1 must have been resumed, not parked");
+        assert!(!validated);
+        let mut tasks = Vec::new();
+        while !s.done() {
+            match s.next_task().expect("no task may be lost") {
+                Task::Execution { iteration, .. } => {
+                    tasks.push(format!("E{iteration}"));
+                    s.finish_execution(iteration, false);
+                }
+                Task::Validation { iteration, .. } => {
+                    tasks.push(format!("V{iteration}"));
+                    s.finish_validation(iteration, false);
+                }
+            }
+        }
+        assert!(
+            tasks.contains(&"E1".to_string()),
+            "1's next incarnation must be dispatched ({tasks:?})"
+        );
+    }
+
+    /// The racing-validator handshake: only one validator may win the abort
+    /// of a given incarnation, stale winners are rejected by the incarnation
+    /// check, and `finish_validation_ok` refuses tasks for re-executed
+    /// iterations.
+    #[test]
+    fn stale_validation_tasks_are_rejected() {
+        let s = Scheduler::new(1);
+        let Some(Task::Execution { iteration: 0, .. }) = s.next_task() else {
+            panic!("expected execution of 0");
+        };
+        s.finish_execution(0, true);
+        let Some(Task::Validation {
+            iteration: 0,
+            incarnation: 0,
+        }) = s.next_task()
+        else {
+            panic!("expected validation of (0, 0)");
+        };
+        // Two racing validators popped the same task; the first wins.
+        assert!(s.try_validation_abort(0, 0));
+        assert!(!s.try_validation_abort(0, 0), "second aborter must lose");
+        s.finish_abort(0);
+        // The stale validator's success path must also be rejected now.
+        let epoch = s.validation_epoch(0);
+        assert!(
+            !s.finish_validation_ok(0, 0, epoch),
+            "stale ok must be rejected"
+        );
+        // Re-execute and validate for real.
+        let Some(Task::Execution {
+            iteration: 0,
+            incarnation: 1,
+        }) = s.next_task()
+        else {
+            panic!("expected re-execution of 0");
+        };
+        s.finish_execution(0, false);
+        let Some(Task::Validation {
+            iteration: 0,
+            incarnation: 1,
+        }) = s.next_task()
+        else {
+            panic!("expected validation of (0, 1)");
+        };
+        let epoch = s.validation_epoch(0);
+        assert!(s.finish_validation_ok(0, 1, epoch));
+        assert!(s.done());
+    }
+
+    /// Regression test for the lost-revalidation race: iteration 1's
+    /// validator snapshots its epoch and verdict *before* iteration 0
+    /// re-records writes; 0's demote sweep runs while 1 is merely `Executed`
+    /// (mid-validation), so nothing is demoted — the epoch bump is the only
+    /// thing standing between the stale pass and a permanently-validated
+    /// iteration whose reads were never checked against 0's new writes.
+    #[test]
+    fn stale_pass_verdict_after_lower_rerecord_is_rejected() {
+        let s = Scheduler::new(2);
+        // Claim both iterations; finish both executions.
+        let Some(Task::Execution { iteration: 0, .. }) = s.next_task() else {
+            panic!("expected execution of 0");
+        };
+        let Some(Task::Execution { iteration: 1, .. }) = s.next_task() else {
+            panic!("expected execution of 1");
+        };
+        s.finish_execution(0, true);
+        s.finish_execution(1, true);
+        // A validator pops (1, 0) and snapshots the epoch...
+        let epoch = s.validation_epoch(1);
+        // ...then 0 fails its own validation, re-executes and re-records —
+        // the demote sweep passes over 1 (still Executed: no demote) and
+        // bumps its epoch.
+        assert!(s.try_validation_abort(0, 0));
+        s.finish_abort(0);
+        // Drive until 0 has re-recorded. Validation tasks for 1 popped along
+        // the way model racing validators whose verdicts are still in
+        // flight: dropping them is exactly what a stalled validator looks
+        // like, and the re-record below must re-deliver the work.
+        loop {
+            match s.next_task().expect("work remains") {
+                Task::Execution { iteration: 0, .. } => {
+                    s.finish_execution(0, true);
+                    break;
+                }
+                Task::Validation { iteration: 1, .. } => {}
+                other => panic!("unexpected task {other:?}"),
+            }
+        }
+        // The validator's stale pass must not stick.
+        assert!(
+            !s.finish_validation_ok(1, 0, epoch),
+            "a pass computed against pre-re-record state must be rejected"
+        );
+        let (_, validated) = s.status(1);
+        assert!(!validated, "1 must await a fresh validation task");
+        // And a fresh task for 1 is re-delivered by the lowered frontier.
+        let mut saw_revalidation = false;
+        while !s.done() {
+            match s.next_task().expect("no task may be lost") {
+                Task::Execution { iteration, .. } => s.finish_execution(iteration, false),
+                Task::Validation {
+                    iteration,
+                    incarnation,
+                } => {
+                    saw_revalidation |= iteration == 1;
+                    let epoch = s.validation_epoch(iteration);
+                    assert!(s.finish_validation_ok(iteration, incarnation, epoch));
+                }
+            }
+        }
+        assert!(
+            saw_revalidation,
+            "1 must be revalidated against fresh state"
+        );
+    }
+
+    /// Hammer the scheduler from real threads: every iteration must end up
+    /// validated exactly once, with no lost or duplicated work, for any
+    /// interleaving the OS produces.
+    #[test]
+    fn concurrent_drive_terminates_with_all_validated() {
+        for _ in 0..8 {
+            let n = 24;
+            let s = Scheduler::new(n);
+            let executed = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    scope.spawn(|| loop {
+                        if s.done() {
+                            break;
+                        }
+                        match s.next_task() {
+                            Some(Task::Execution { iteration, .. }) => {
+                                executed.fetch_add(1, Ordering::SeqCst);
+                                s.finish_execution(iteration, true);
+                            }
+                            Some(Task::Validation {
+                                iteration,
+                                incarnation,
+                            }) => {
+                                let epoch = s.validation_epoch(iteration);
+                                let _ = s.finish_validation_ok(iteration, incarnation, epoch);
+                            }
+                            None => std::thread::yield_now(),
+                        }
+                    });
+                }
+            });
+            assert!(s.done());
+            assert!(executed.load(Ordering::SeqCst) >= n);
+            for i in 0..n {
+                assert!(s.status(i).1, "iteration {i} must be validated");
+            }
+        }
     }
 
     #[test]

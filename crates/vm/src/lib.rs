@@ -58,7 +58,7 @@ pub use cost::CostModel;
 pub use cpu::{Cpu, Flags};
 pub use error::{Result, VmError};
 pub use exec::{exec_inst, Effect};
-pub use memory::{FlatMemory, GuestMemory};
+pub use memory::{FlatMemory, GuestMemory, PeekMemory};
 pub use overlay::{CowMemory, OverlayWrite};
 pub use process::{Process, ResolvedPlt};
 pub use syslib::build_syslib;

@@ -67,6 +67,40 @@ pub trait GuestMemory {
     }
 }
 
+/// Non-mutating guest-memory reads through a shared reference.
+///
+/// [`GuestMemory`] takes `&mut self` even for loads (views track read sets,
+/// the flat memory counts accesses), which makes it unusable as the *shared
+/// base* of concurrently executing views: worker threads all need to read the
+/// same immutable image at once. This trait is that read-only face. It is
+/// implemented by [`FlatMemory`] (reads bypass the load counters, exactly
+/// like the inherent `peek_*` methods) and by [`crate::CowMemory`] (overlay
+/// words shadow the base), and it is what `janus-spec`'s per-incarnation
+/// views and the OS-thread execution backends build on.
+pub trait PeekMemory {
+    /// Reads one byte without mutating any state.
+    fn peek_u8(&self, addr: u64) -> u8;
+
+    /// Reads a little-endian 64-bit value without mutating any state.
+    fn peek_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.peek_u8(addr + i as u64);
+        }
+        u64::from_le_bytes(bytes)
+    }
+}
+
+impl PeekMemory for FlatMemory {
+    fn peek_u8(&self, addr: u64) -> u8 {
+        FlatMemory::peek_u8(self, addr)
+    }
+
+    fn peek_u64(&self, addr: u64) -> u64 {
+        FlatMemory::peek_u64(self, addr)
+    }
+}
+
 /// A sparse, page-granular flat address space. Unmapped memory reads as zero.
 #[derive(Debug, Default, Clone)]
 pub struct FlatMemory {

@@ -8,7 +8,7 @@
 //! chunk order, which reproduces the memory image a sequential chunk-by-chunk
 //! execution would have produced.
 
-use crate::memory::{FlatMemory, GuestMemory};
+use crate::memory::{FlatMemory, GuestMemory, PeekMemory};
 use std::collections::HashMap;
 
 /// One overlay word plus the mask of bytes the view actually wrote.
@@ -107,6 +107,25 @@ impl<'a> CowMemory<'a> {
             value: base.peek_u64(word),
             dirty: 0,
         })
+    }
+}
+
+impl PeekMemory for CowMemory<'_> {
+    fn peek_u8(&self, addr: u64) -> u8 {
+        let word = Self::aligned(addr);
+        self.word(word).to_le_bytes()[(addr - word) as usize]
+    }
+
+    fn peek_u64(&self, addr: u64) -> u64 {
+        let word = Self::aligned(addr);
+        if word == addr {
+            self.word(word)
+        } else {
+            let lo = self.word(word);
+            let hi = self.word(word + 8);
+            let shift = (addr - word) * 8;
+            (lo >> shift) | (hi << (64 - shift))
+        }
     }
 }
 
