@@ -118,6 +118,16 @@ impl BinaryAnalysis {
     }
 }
 
+// Analyses are cached content-addressed (keyed by `JBinary::content_digest`)
+// and shared across serving worker threads; keep the whole artifact
+// cheap-to-clone plain data so `Arc<BinaryAnalysis>` needs no locking.
+const _: () = {
+    const fn artifact<T: Clone + Send + Sync>() {}
+    artifact::<BinaryAnalysis>();
+    artifact::<LoopInfo>();
+    artifact::<FunctionCfg>();
+};
+
 /// Statically analyses a binary: recovers CFGs, finds loops, recognises
 /// induction variables and memory access patterns, and classifies every loop.
 ///

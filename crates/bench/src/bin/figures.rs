@@ -91,7 +91,11 @@ fn main() {
 fn bench_json(threads: u32) {
     let backend = BackendKind::from_env();
     let rows = bench::backend_bench(backend, threads);
-    let json = bench::backend_bench_json(&rows, threads);
+    // The serving figure: a mixed 200-job batch over the whole suite through
+    // a 4-worker `janus-serve` session (jobs/sec, cache hit rate, p50/p99
+    // job wall time) — the trajectory's record of serving performance.
+    let serve = bench::serve_throughput(backend, 4, 200);
+    let json = bench::backend_bench_json(&rows, threads, Some(&serve));
     let path = format!("BENCH_{}.json", backend.label());
     std::fs::write(&path, &json).expect("write benchmark json");
     println!(
@@ -115,6 +119,17 @@ fn bench_json(threads: u32) {
             if r.outputs_match { "yes" } else { "NO" },
         );
     }
+    println!(
+        "serve-throughput: {} jobs / {} workers: {:.1} jobs/s, \
+         hit rate {:.1}%, p50 {:.4}s, p99 {:.4}s, {} failures",
+        serve.jobs,
+        serve.workers,
+        serve.jobs_per_sec,
+        serve.cache_hit_rate * 100.0,
+        serve.p50_job_seconds,
+        serve.p99_job_seconds,
+        serve.failures,
+    );
 }
 
 fn fig6() {

@@ -460,10 +460,116 @@ pub fn backend_bench(backend: BackendKind, threads: u32) -> Vec<BackendBenchRow>
         .collect()
 }
 
-/// Renders backend-bench rows as a JSON document (no external dependencies;
-/// the format is flat and append-friendly for trend tooling).
+/// The serving-layer throughput figure: a mixed batch of jobs over the
+/// whole workload suite pushed through one `janus-serve` session, recorded
+/// per commit in `BENCH_<backend>.json` so the trajectory tracks serving
+/// performance alongside per-workload speedups.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeThroughputRow {
+    /// Backend the session executed under.
+    pub backend: BackendKind,
+    /// Worker threads draining the session's queue.
+    pub workers: usize,
+    /// Jobs in the batch.
+    pub jobs: usize,
+    /// Wall-clock seconds from first submission to the batch joining.
+    pub total_seconds: f64,
+    /// Completed jobs per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Artifact-cache hit rate over the batch (hits + in-flight waits over
+    /// all lookups).
+    pub cache_hit_rate: f64,
+    /// Analyses actually run (cache misses; distinct binaries in the batch).
+    pub cache_misses: u64,
+    /// Median per-job wall time in seconds.
+    pub p50_job_seconds: f64,
+    /// 99th-percentile per-job wall time in seconds.
+    pub p99_job_seconds: f64,
+    /// Jobs that finished with an error (0 on a healthy run).
+    pub failures: u64,
+}
+
+/// Runs a mixed `jobs`-deep batch — the parallel and speculative training
+/// workloads round-robin — through a `workers`-wide serving session on
+/// `backend`, and summarises throughput, cache behaviour and the per-job
+/// wall-time distribution.
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile or the session rejects a
+/// submission (the queue is sized to the batch).
 #[must_use]
-pub fn backend_bench_json(rows: &[BackendBenchRow], threads: u32) -> String {
+pub fn serve_throughput(backend: BackendKind, workers: usize, jobs: usize) -> ServeThroughputRow {
+    use janus_serve::{JobSpec, ServeConfig, ServeSession};
+    use std::sync::Arc;
+
+    let names: Vec<&str> = parallel_benchmarks()
+        .into_iter()
+        .chain(speculative_benchmarks())
+        .collect();
+    let binaries: Vec<Arc<JBinary>> = names
+        .iter()
+        .map(|name| Arc::new(compile_train(name, CompileOptions::gcc_o3())))
+        .collect();
+    let janus = Janus::with_config(JanusConfig {
+        threads: 4,
+        backend,
+        ..JanusConfig::default()
+    });
+    let handle = janus.serve(ServeConfig {
+        workers,
+        queue_depth: jobs.max(1),
+        ..ServeConfig::default()
+    });
+
+    // One spec per binary, cloned per job: the content digest is computed
+    // once here rather than once per submission.
+    let specs: Vec<JobSpec> = binaries.iter().map(|b| JobSpec::new(b.clone())).collect();
+    let start = std::time::Instant::now();
+    for i in 0..jobs {
+        handle
+            .submit(specs[i % specs.len()].clone())
+            .expect("queue sized to the batch");
+    }
+    let outcomes = handle.join();
+    let total_seconds = start.elapsed().as_secs_f64();
+
+    let mut job_seconds: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|(_, r)| r.as_ref().ok().map(|r| r.wall_nanos as f64 / 1e9))
+        .collect();
+    job_seconds.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |p: f64| -> f64 {
+        if job_seconds.is_empty() {
+            return 0.0;
+        }
+        let idx = ((job_seconds.len() - 1) as f64 * p).round() as usize;
+        job_seconds[idx]
+    };
+    let stats = handle.stats();
+    ServeThroughputRow {
+        backend,
+        workers,
+        jobs,
+        total_seconds,
+        jobs_per_sec: outcomes.len() as f64 / total_seconds.max(1e-9),
+        cache_hit_rate: stats.cache_hit_rate(),
+        cache_misses: stats.cache_misses,
+        p50_job_seconds: percentile(0.50),
+        p99_job_seconds: percentile(0.99),
+        failures: stats.jobs_failed,
+    }
+}
+
+/// Renders backend-bench rows — plus an optional serving-throughput section
+/// — as a JSON document (no external dependencies; the format is flat and
+/// append-friendly for trend tooling).
+#[must_use]
+pub fn backend_bench_json(
+    rows: &[BackendBenchRow],
+    threads: u32,
+    serve: Option<&ServeThroughputRow>,
+) -> String {
     let mut out = String::from("{\n");
     let backend = rows.first().map_or("unknown", |r| r.backend.label());
     out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
@@ -488,7 +594,29 @@ pub fn backend_bench_json(rows: &[BackendBenchRow], threads: u32) -> String {
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    match serve {
+        None => out.push_str("  ]\n}\n"),
+        Some(s) => {
+            out.push_str("  ],\n");
+            out.push_str(&format!(
+                "  \"serve_throughput\": {{\"workers\": {}, \"jobs\": {}, \
+                 \"total_seconds\": {:.6}, \"jobs_per_sec\": {:.3}, \
+                 \"cache_hit_rate\": {:.6}, \"cache_misses\": {}, \
+                 \"p50_job_seconds\": {:.6}, \"p99_job_seconds\": {:.6}, \
+                 \"failures\": {}}}\n",
+                s.workers,
+                s.jobs,
+                s.total_seconds,
+                s.jobs_per_sec,
+                s.cache_hit_rate,
+                s.cache_misses,
+                s.p50_job_seconds,
+                s.p99_job_seconds,
+                s.failures,
+            ));
+            out.push_str("}\n");
+        }
+    }
     out
 }
 
@@ -540,7 +668,7 @@ mod tests {
                 outputs_match: true,
             },
         ];
-        let json = backend_bench_json(&rows, 8);
+        let json = backend_bench_json(&rows, 8, None);
         assert!(json.contains("\"backend\": \"native\""));
         assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"name\": \"470.lbm\""));
@@ -551,6 +679,44 @@ mod tests {
         );
         // Exactly one trailing comma between the two workload objects.
         assert_eq!(json.matches("},\n").count(), rows.len() - 1);
+
+        // With the serving section appended the document stays well formed.
+        let serve = ServeThroughputRow {
+            backend: BackendKind::NativeThreads,
+            workers: 4,
+            jobs: 200,
+            total_seconds: 2.5,
+            jobs_per_sec: 80.0,
+            cache_hit_rate: 0.935,
+            cache_misses: 13,
+            p50_job_seconds: 0.01,
+            p99_job_seconds: 0.05,
+            failures: 0,
+        };
+        let json = backend_bench_json(&rows, 8, Some(&serve));
+        assert!(json.contains("\"serve_throughput\""));
+        assert!(json.contains("\"jobs\": 200"));
+        assert!(json.contains("\"cache_hit_rate\": 0.935000"));
+        assert!(
+            json.matches('{').count() == json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn serve_throughput_amortises_analysis_over_the_batch() {
+        // A small batch keeps the smoke test quick; the 13 distinct binaries
+        // each build once, every further job is a cache hit.
+        let row = serve_throughput(BackendKind::from_env(), 4, 26);
+        assert_eq!(row.jobs, 26);
+        assert_eq!(row.failures, 0);
+        assert_eq!(row.cache_misses, 13, "one analysis per distinct binary");
+        assert!(
+            (row.cache_hit_rate - 0.5).abs() < 1e-12,
+            "13 of 26 amortised"
+        );
+        assert!(row.jobs_per_sec > 0.0);
+        assert!(row.p50_job_seconds <= row.p99_job_seconds);
     }
 
     #[test]

@@ -35,7 +35,7 @@ use janus_schedule::{RewriteRule, RewriteSchedule, RuleId};
 use janus_vm::{Process, RunResult, Vm, VmError};
 use std::fmt;
 
-pub use janus_dbm::{BackendKind, SideSpec, VarSpec};
+pub use janus_dbm::{BackendKind, PreparedDbm, SideSpec, SpecCommitMode, VarSpec};
 
 /// The optimisation levels evaluated in the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,6 +161,38 @@ impl From<DbmError> for JanusError {
     }
 }
 
+/// The front half of the pipeline for one binary: everything derivable from
+/// the binary (plus an optional training input) *before* any measured run —
+/// static analysis, the optional profile, loop selection and the generated
+/// rewrite schedule, keyed by the binary's content digest.
+///
+/// This is the unit a serving layer caches: building it once per distinct
+/// binary and re-executing it on many inputs is exactly the amortisation the
+/// rewrite-schedule design exists for. All fields are plain data
+/// (`Clone + Send + Sync`), so an `Arc<PipelineArtifacts>` can be shared
+/// across worker threads freely.
+#[derive(Debug, Clone)]
+pub struct PipelineArtifacts {
+    /// Content digest of the binary the artifacts were derived from
+    /// ([`JBinary::content_digest`]).
+    pub binary_digest: u64,
+    /// Static analysis of the binary.
+    pub analysis: BinaryAnalysis,
+    /// Profile data, when the configured mode profiles.
+    pub profile: Option<ProfileData>,
+    /// Loop ids selected for parallelisation.
+    pub selected_loops: Vec<usize>,
+    /// The subset of `selected_loops` scheduled for iteration-level
+    /// speculation (`SPECULATE` rules).
+    pub speculative_loops: Vec<usize>,
+    /// The generated rewrite schedule.
+    pub schedule: RewriteSchedule,
+    /// Serialised schedule size in bytes.
+    pub schedule_size: u64,
+    /// Serialised binary size in bytes (for the Figure 10 ratio).
+    pub binary_size: u64,
+}
+
 /// The result of parallelising and running one binary.
 #[derive(Debug, Clone)]
 pub struct JanusReport {
@@ -170,6 +202,10 @@ pub struct JanusReport {
     pub parallel: DbmRunResult,
     /// The execution backend the parallel run used.
     pub backend: BackendKind,
+    /// Content digest of the binary that ran
+    /// ([`JBinary::content_digest`]) — the key under which a serving layer
+    /// caches this binary's analysis and schedule.
+    pub binary_digest: u64,
     /// Loop ids that were selected for parallelisation.
     pub selected_loops: Vec<usize>,
     /// The subset of `selected_loops` scheduled for iteration-level
@@ -433,6 +469,62 @@ impl Janus {
         self.run_with_inputs(binary, input, input)
     }
 
+    /// Runs the front half of the pipeline — analysis, optional profiling on
+    /// `train_input`, loop selection and schedule generation — and returns
+    /// the digest-keyed [`PipelineArtifacts`]. This is the expensive
+    /// per-binary work a serving layer caches; pair it with
+    /// [`PreparedDbm`] (via `janus-serve`) to execute many inputs against
+    /// one preparation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if analysis or profiling fails.
+    pub fn prepare(
+        &self,
+        binary: &JBinary,
+        train_input: &[i64],
+    ) -> Result<PipelineArtifacts, JanusError> {
+        let analysis = self.analyze(binary)?;
+        let profile = if self.config.mode.uses_profile() {
+            Some(self.profile(binary, &analysis, train_input)?)
+        } else {
+            None
+        };
+        let selected_loops = self.select_loops(&analysis, profile.as_ref());
+        let schedule = self.generate_schedule(binary, &analysis, &selected_loops);
+        let speculative_loops: Vec<usize> = selected_loops
+            .iter()
+            .copied()
+            .filter(|&id| analysis.loops[id].category == LoopCategory::Speculative)
+            .collect();
+        Ok(PipelineArtifacts {
+            binary_digest: binary.content_digest(),
+            schedule_size: schedule.byte_size(),
+            binary_size: binary.file_size(),
+            analysis,
+            profile,
+            selected_loops,
+            speculative_loops,
+            schedule,
+        })
+    }
+
+    /// The [`DbmConfig`] a measured run under this configuration uses: the
+    /// configured cost knobs with the pipeline-level choices (threads,
+    /// backend, runtime checks, speculation) folded in. Exposed so serving
+    /// layers derive per-job configurations exactly the way
+    /// [`Janus::run_with_inputs`] does.
+    #[must_use]
+    pub fn dbm_config(&self) -> DbmConfig {
+        DbmConfig {
+            threads: self.config.threads,
+            backend: self.config.backend,
+            enable_runtime_checks: self.config.mode.uses_runtime_checks(),
+            enable_speculation: self.config.speculation && self.config.dbm.enable_speculation,
+            ..self.config.dbm
+        }
+    }
+
     /// Runs the full pipeline with separate training and reference inputs.
     ///
     /// # Errors
@@ -444,14 +536,7 @@ impl Janus {
         train_input: &[i64],
         ref_input: &[i64],
     ) -> Result<JanusReport, JanusError> {
-        let analysis = self.analyze(binary)?;
-        let profile_data = if self.config.mode.uses_profile() {
-            Some(self.profile(binary, &analysis, train_input)?)
-        } else {
-            None
-        };
-        let selected = self.select_loops(&analysis, profile_data.as_ref());
-        let schedule = self.generate_schedule(binary, &analysis, &selected);
+        let artifacts = self.prepare(binary, train_input)?;
 
         // Native baseline.
         let process = Process::load(binary)?;
@@ -462,14 +547,7 @@ impl Janus {
         let native_floats = vm.output_floats().to_vec();
 
         // Parallel execution under the DBM.
-        let dbm_config = DbmConfig {
-            threads: self.config.threads,
-            backend: self.config.backend,
-            enable_runtime_checks: self.config.mode.uses_runtime_checks(),
-            enable_speculation: self.config.speculation && self.config.dbm.enable_speculation,
-            ..self.config.dbm
-        };
-        let mut dbm = Dbm::new(process, &schedule, dbm_config);
+        let mut dbm = Dbm::new(process, &artifacts.schedule, self.dbm_config());
         dbm.set_input(ref_input);
         let parallel = dbm.run()?;
 
@@ -480,21 +558,17 @@ impl Janus {
                 .zip(parallel.output_floats.iter())
                 .all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(1.0));
 
-        let speculative_loops: Vec<usize> = selected
-            .iter()
-            .copied()
-            .filter(|&id| analysis.loops[id].category == LoopCategory::Speculative)
-            .collect();
         Ok(JanusReport {
             native,
             parallel,
             backend: self.config.backend,
-            selected_loops: selected,
-            speculative_loops,
-            schedule_size: schedule.byte_size(),
-            binary_size: binary.file_size(),
+            binary_digest: artifacts.binary_digest,
+            selected_loops: artifacts.selected_loops,
+            speculative_loops: artifacts.speculative_loops,
+            schedule_size: artifacts.schedule_size,
+            binary_size: artifacts.binary_size,
             outputs_match,
-            profile: profile_data,
+            profile: artifacts.profile,
         })
     }
 }
@@ -719,6 +793,29 @@ mod tests {
         assert!(report.schedule_size > 0);
         assert!(report.schedule_size_fraction() < 0.5);
         assert!(report.parallel.stats.parallel_invocations >= 1);
+    }
+
+    #[test]
+    fn prepare_matches_the_full_run_and_is_digest_keyed() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&doall_program(1024))
+            .unwrap();
+        let janus = Janus::new();
+        let artifacts = janus.prepare(&bin, &[]).unwrap();
+        let report = janus.run(&bin, &[]).unwrap();
+        assert_eq!(artifacts.binary_digest, bin.content_digest());
+        assert_eq!(artifacts.binary_digest, report.binary_digest);
+        assert_eq!(artifacts.selected_loops, report.selected_loops);
+        assert_eq!(artifacts.speculative_loops, report.speculative_loops);
+        assert_eq!(artifacts.schedule_size, report.schedule_size);
+        assert_eq!(artifacts.schedule_size, artifacts.schedule.byte_size());
+        assert!(!artifacts.schedule.is_empty());
+        // Preparing twice is deterministic: same digest, same schedule bytes.
+        let again = janus.prepare(&bin, &[]).unwrap();
+        assert_eq!(
+            again.schedule.content_digest(),
+            artifacts.schedule.content_digest()
+        );
     }
 
     #[test]

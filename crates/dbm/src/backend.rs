@@ -34,9 +34,9 @@
 //! clock measures the actual fan-out.
 
 use crate::runtime::LoopRt;
-use crate::{DbmConfig, DbmError, Result};
+use crate::{DbmConfig, DbmError, Result, SpecCommitMode};
 use janus_spec::{IterationRun, LaneSet, Lanes, SpecConfig, SpecError, SpecOutcome, SpecView};
-use janus_vm::{CowMemory, Cpu, FlatMemory, OverlayWrite, Process};
+use janus_vm::{CowMemory, Cpu, FlatMemory, GuestMemory, OverlayWrite, Process};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
@@ -364,10 +364,13 @@ pub trait ExecutionBackend: fmt::Debug + Send + Sync + sealed::Sealed {
     ) -> Result<BatchOutcome>;
 
     /// Runs one speculative (`SPECULATE`) loop invocation through the
-    /// `janus-spec` engine.
+    /// `janus-spec` engine. `commit` selects how the native-threads backend
+    /// lands the result ([`SpecCommitMode`]); the virtual-time backend is
+    /// always deterministic and ignores it.
     fn run_speculative_invocation(
         &self,
         spec_config: &SpecConfig,
+        commit: SpecCommitMode,
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
@@ -431,6 +434,7 @@ impl ExecutionBackend for VirtualTimeBackend {
     fn run_speculative_invocation(
         &self,
         spec_config: &SpecConfig,
+        _commit: SpecCommitMode,
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
@@ -547,27 +551,16 @@ impl ExecutionBackend for NativeThreadsBackend {
     fn run_speculative_invocation(
         &self,
         spec_config: &SpecConfig,
+        commit: SpecCommitMode,
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
     ) -> SpecInvocationOutcome {
-        // Two passes, one invocation. First the *racing pool*: one OS worker
-        // per lane pulls execution/validation tasks from the shared atomic
-        // scheduler and runs incarnations concurrently over the read-only
-        // memory image — this is where the wall clock is spent and what
-        // `os_threads_used` reports. Then the *deterministic coordinator*
-        // replays the invocation in commit order on this thread; its
-        // modelled cycles, abort counts and payloads are what the run
-        // reports (bit-identical to the virtual-time backend by
-        // construction) and its commit is what lands in guest memory. The
-        // two engines must agree on the serial-equivalent final image
-        // whenever the race completes (a pool that gave up with `AbortLimit`
-        // has no image to compare): the comparison runs word for word in
-        // every build, asserts in test/debug builds, and in release builds
-        // logs the divergence and keeps the deterministic result — no panic,
-        // the correct outcome is already in hand. The cross-backend
-        // equivalence battery re-checks the same invariant end to end
-        // through `DbmRunResult::memory_digest`.
+        // First the *racing pool*: one OS worker per lane pulls
+        // execution/validation tasks from the shared atomic scheduler and
+        // runs incarnations concurrently over the read-only memory image —
+        // this is where the wall clock is spent and what `os_threads_used`
+        // reports.
         let threads = spec_config.lanes.max(1) as usize;
         let start = Instant::now();
         let raced =
@@ -577,8 +570,72 @@ impl ExecutionBackend for NativeThreadsBackend {
             .as_ref()
             .map_or(threads.min(iterations.max(1)), |r| r.threads_used)
             as u64;
-        let mut outcome =
-            VirtualTimeBackend.run_speculative_invocation(spec_config, base, iterations, body);
+
+        // Pure wall-clock mode: commit the pool's converged (serial-
+        // equivalent) image directly and skip the deterministic replay. The
+        // outcome's counters describe the actual race and no modelled
+        // parallel cycles are charged — callers pick this mode precisely
+        // because they do not consume modelled figures. A pool that gave up
+        // (`AbortLimit`), saw a fault, or left live estimate markers in the
+        // store (the convergence invariant every committed image must
+        // satisfy; asserted in test builds, never trusted in release) falls
+        // through to the deterministic engine below, which classifies
+        // genuine faults exactly and always commits a correct image.
+        if commit == SpecCommitMode::RacedImage {
+            if let Ok(pooled) = raced {
+                debug_assert_eq!(pooled.live_estimates, 0);
+                if pooled.live_estimates == 0 {
+                    for &(word, value) in &pooled.image {
+                        base.write_u64(word, value);
+                    }
+                    return SpecInvocationOutcome {
+                        result: Ok(SpecOutcome {
+                            stats: pooled.stats,
+                            parallel_cycles: 0,
+                            payloads: pooled.payloads,
+                            image: pooled.image,
+                        }),
+                        wall_nanos,
+                        os_threads,
+                    };
+                }
+                eprintln!(
+                    "janus-dbm: racing speculative pool left live estimates; \
+                     falling back to the deterministic engine"
+                );
+            }
+            let mut outcome = VirtualTimeBackend.run_speculative_invocation(
+                spec_config,
+                commit,
+                base,
+                iterations,
+                body,
+            );
+            outcome.wall_nanos = wall_nanos;
+            outcome.os_threads = os_threads;
+            return outcome;
+        }
+
+        // Deterministic commit mode: replay the *deterministic coordinator*
+        // in commit order on this thread; its modelled cycles, abort counts
+        // and payloads are what the run reports (bit-identical to the
+        // virtual-time backend by construction) and its commit is what lands
+        // in guest memory. The two engines must agree on the
+        // serial-equivalent final image whenever the race completes (a pool
+        // that gave up with `AbortLimit` has no image to compare): the
+        // comparison runs word for word in every build, asserts in
+        // test/debug builds, and in release builds logs the divergence and
+        // keeps the deterministic result — no panic, the correct outcome is
+        // already in hand. The cross-backend equivalence battery re-checks
+        // the same invariant end to end through
+        // `DbmRunResult::memory_digest`.
+        let mut outcome = VirtualTimeBackend.run_speculative_invocation(
+            spec_config,
+            commit,
+            base,
+            iterations,
+            body,
+        );
         if let (Ok(raced), Ok(deterministic)) = (&raced, &outcome.result) {
             let diverged = raced.image != deterministic.image || raced.live_estimates != 0;
             if diverged {

@@ -79,7 +79,7 @@ mod stm;
 pub use backend::{
     BackendKind, BatchOutcome, ExecutionBackend, NativeThreadsBackend, VirtualTimeBackend,
 };
-pub use runtime::{Dbm, DbmRunResult, SideSpec, VarSpec};
+pub use runtime::{Dbm, DbmRunResult, PreparedDbm, SideSpec, VarSpec};
 pub use stm::TxStats;
 
 use std::fmt;
@@ -135,6 +135,46 @@ impl Default for SpecCosts {
     }
 }
 
+/// How the native-threads backend commits a speculative (`SPECULATE`)
+/// invocation once the racing Block-STM pool has converged.
+///
+/// The virtual-time backend always runs the deterministic coordinator (it
+/// has no racing pool), so this knob only changes behaviour under
+/// [`BackendKind::NativeThreads`]. Either way the committed memory image is
+/// the serial-equivalent one — the equivalence test in `janus-core` asserts
+/// identical memory digests between the two modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SpecCommitMode {
+    /// Race the pool for wall-clock speed, then replay the deterministic
+    /// coordinator in commit order and report *its* modelled cycles and
+    /// speculation counters (bit-identical to the virtual-time backend),
+    /// cross-checking the two serial-equivalent images. The default: every
+    /// figure and table is built from this mode.
+    #[default]
+    Deterministic,
+    /// Commit the racing pool's converged image directly and skip the
+    /// deterministic replay — pure wall-clock mode for callers (serving
+    /// batches, latency-sensitive jobs) that do not consume modelled
+    /// figures. Guest results are unchanged; speculation counters describe
+    /// the actual race (nondeterministic) and modelled parallel cycles are
+    /// not charged for the invocation, so cycle totals are not comparable
+    /// with `Deterministic` runs. A pool that gives up ([`janus_spec::SpecError`])
+    /// still falls back to the deterministic engine, which classifies
+    /// genuine faults exactly.
+    RacedImage,
+}
+
+impl SpecCommitMode {
+    /// Stable machine-readable name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecCommitMode::Deterministic => "deterministic",
+            SpecCommitMode::RacedImage => "raced-image",
+        }
+    }
+}
+
 /// Configuration of the dynamic binary modifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DbmConfig {
@@ -173,6 +213,11 @@ pub struct DbmConfig {
     pub stm: StmCosts,
     /// Cost knobs of the iteration-level speculation engine.
     pub spec: SpecCosts,
+    /// How the native-threads backend commits speculative invocations:
+    /// deterministic replay (default; modelled figures stay backend-
+    /// invariant) or the racing pool's image directly (pure wall-clock
+    /// mode). Ignored by the virtual-time backend.
+    pub spec_commit: SpecCommitMode,
     /// Minimum iterations per thread below which a loop invocation is run
     /// sequentially (parallelisation would not be profitable).
     pub min_iterations_per_thread: u64,
@@ -199,6 +244,7 @@ impl Default for DbmConfig {
             bounds_check_cost: 35,
             stm: StmCosts::default(),
             spec: SpecCosts::default(),
+            spec_commit: SpecCommitMode::default(),
             min_iterations_per_thread: 1,
             cycle_limit: 200_000_000_000,
         }
@@ -452,6 +498,10 @@ mod tests {
             ),
             (6, 10, 4, 60, 64)
         );
+        // Figures are built from the deterministic replay by default.
+        assert_eq!(c.spec_commit, SpecCommitMode::Deterministic);
+        assert_eq!(SpecCommitMode::Deterministic.label(), "deterministic");
+        assert_eq!(SpecCommitMode::RacedImage.label(), "raced-image");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use janus_ir::{Inst, Operand, Reg, SyscallNum, INST_SIZE, STACK_SIZE};
 use janus_schedule::{RewriteSchedule, RuleId, RuleIndex};
 use janus_vm::{exec_inst, Cpu, Effect, FlatMemory, GuestMemory, Process, ResolvedPlt};
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How a scalar variable location is encoded inside rewrite-rule data words.
@@ -178,31 +179,37 @@ impl DbmRunResult {
     }
 }
 
-/// The dynamic binary modifier: executes one process under the control of a
-/// rewrite schedule.
-#[derive(Debug)]
-pub struct Dbm {
-    process: Process,
-    index: RuleIndex,
-    config: DbmConfig,
-    loops: HashMap<usize, LoopRt>,
-
-    mem: FlatMemory,
-    main: Cpu,
-    stats: DbmStats,
-    cache: CodeCache,
-    active_sequential: HashSet<usize>,
-    heap_brk: u64,
-    output_ints: Vec<i64>,
-    output_floats: Vec<f64>,
-    input: VecDeque<i64>,
-    exit_code: i64,
+/// The immutable, shareable half of a DBM: the loaded process, the rewrite
+/// schedule decoded into its per-address index and per-loop runtime records,
+/// and the baseline configuration.
+///
+/// Decoding a schedule and loading a process is per-*binary* work; executing
+/// a run is per-*invocation* work. [`PreparedDbm`] holds the former behind an
+/// [`Arc`] so a serving layer can prepare a binary once, cache the result by
+/// content digest and drive any number of concurrent
+/// [`PreparedDbm::execute`] calls from worker threads — each run gets fresh
+/// guest memory, registers and statistics, so runs never observe each other.
+#[derive(Debug, Clone)]
+pub struct PreparedDbm {
+    parts: Arc<PreparedParts>,
 }
 
-impl Dbm {
-    /// Creates a DBM for `process`, controlled by `schedule`.
+/// What `PreparedDbm` shares: everything `Dbm::run` only reads.
+#[derive(Debug)]
+struct PreparedParts {
+    process: Process,
+    index: RuleIndex,
+    loops: HashMap<usize, LoopRt>,
+    config: DbmConfig,
+}
+
+impl PreparedDbm {
+    /// Prepares `process` for execution under `schedule`: decodes the
+    /// schedule's loop rules into runtime records and builds the per-address
+    /// rule index. `config` is the baseline configuration runs inherit
+    /// (override it per run with [`PreparedDbm::execute_with`]).
     #[must_use]
-    pub fn new(process: Process, schedule: &RewriteSchedule, config: DbmConfig) -> Dbm {
+    pub fn new(process: Process, schedule: &RewriteSchedule, config: DbmConfig) -> PreparedDbm {
         let mut loops: HashMap<usize, LoopRt> = HashMap::new();
         for rule in schedule.rules() {
             let entry = loops.entry(rule.loop_id()).or_default();
@@ -242,16 +249,98 @@ impl Dbm {
         // Drop loop entries without a LOOP_INIT rule (e.g. profiling-only
         // schedules) — they cannot drive parallelisation.
         loops.retain(|_, l| l.header != 0 && l.induction.is_some());
+        PreparedDbm {
+            parts: Arc::new(PreparedParts {
+                process,
+                index: schedule.index(),
+                loops,
+                config,
+            }),
+        }
+    }
+
+    /// The baseline configuration runs inherit.
+    #[must_use]
+    pub fn config(&self) -> &DbmConfig {
+        &self.parts.config
+    }
+
+    /// Number of loops the schedule asked the DBM to parallelise.
+    #[must_use]
+    pub fn num_parallel_loops(&self) -> usize {
+        self.parts.loops.len()
+    }
+
+    /// Runs the prepared binary to completion on `input` with the baseline
+    /// configuration. Each call is an independent run over fresh guest
+    /// state; `&self` is only read, so calls may race from many threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if guest execution faults or the cycle limit is
+    /// exceeded.
+    pub fn execute(&self, input: &[i64]) -> Result<DbmRunResult> {
+        self.execute_with(input, self.parts.config)
+    }
+
+    /// [`PreparedDbm::execute`] with a per-run configuration override
+    /// (serving layers use this for per-job backend and thread-count
+    /// choices; the decoded schedule is config-independent).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if guest execution faults or the cycle limit is
+    /// exceeded.
+    pub fn execute_with(&self, input: &[i64], config: DbmConfig) -> Result<DbmRunResult> {
+        let mut dbm = Dbm::from_prepared_with_config(self.clone(), config);
+        dbm.set_input(input);
+        dbm.run()
+    }
+}
+
+/// The dynamic binary modifier: executes one process under the control of a
+/// rewrite schedule.
+#[derive(Debug)]
+pub struct Dbm {
+    prepared: PreparedDbm,
+    config: DbmConfig,
+
+    mem: FlatMemory,
+    main: Cpu,
+    stats: DbmStats,
+    cache: CodeCache,
+    active_sequential: HashSet<usize>,
+    heap_brk: u64,
+    output_ints: Vec<i64>,
+    output_floats: Vec<f64>,
+    input: VecDeque<i64>,
+    exit_code: i64,
+}
+
+impl Dbm {
+    /// Creates a DBM for `process`, controlled by `schedule`.
+    #[must_use]
+    pub fn new(process: Process, schedule: &RewriteSchedule, config: DbmConfig) -> Dbm {
+        Dbm::from_prepared(PreparedDbm::new(process, schedule, config))
+    }
+
+    /// Creates a DBM for one run of a prepared binary.
+    #[must_use]
+    pub fn from_prepared(prepared: PreparedDbm) -> Dbm {
+        let config = prepared.parts.config;
+        Dbm::from_prepared_with_config(prepared, config)
+    }
+
+    fn from_prepared_with_config(prepared: PreparedDbm, config: DbmConfig) -> Dbm {
+        let process = &prepared.parts.process;
         let mem = process.initial_memory();
         let mut main = Cpu::new();
         main.pc = process.entry();
         main.set_sp(process.initial_sp());
         let heap_brk = process.heap_base();
         Dbm {
-            process,
-            index: schedule.index(),
+            prepared,
             config,
-            loops,
             mem,
             main,
             stats: DbmStats::default(),
@@ -273,7 +362,7 @@ impl Dbm {
     /// Number of loops the schedule asked the DBM to parallelise.
     #[must_use]
     pub fn num_parallel_loops(&self) -> usize {
-        self.loops.len()
+        self.prepared.num_parallel_loops()
     }
 
     /// Runs the program to completion under DBM control.
@@ -296,8 +385,8 @@ impl Dbm {
             // Rewrite-rule interpretation for the main thread: LOOP_INIT
             // triggers the parallel loop runtime, LOOP_FINISH clears any
             // sequential-fallback marker.
-            if self.index.contains(pc) {
-                for rule in self.index.at(pc).to_vec() {
+            if self.prepared.parts.index.contains(pc) {
+                for rule in self.prepared.parts.index.at(pc).to_vec() {
                     match rule.id {
                         RuleId::LoopFinish => {
                             self.active_sequential.remove(&rule.loop_id());
@@ -305,7 +394,7 @@ impl Dbm {
                         RuleId::LoopInit => {
                             let loop_id = rule.loop_id();
                             if !self.active_sequential.contains(&loop_id)
-                                && self.loops.contains_key(&loop_id)
+                                && self.prepared.parts.loops.contains_key(&loop_id)
                             {
                                 if self.try_parallel_loop(loop_id)? {
                                     // Parallel execution advanced main.pc past
@@ -325,7 +414,7 @@ impl Dbm {
             }
 
             self.account_block(pc);
-            let inst = self.process.inst_at(pc)?.clone();
+            let inst = self.prepared.parts.process.inst_at(pc)?.clone();
             let next_pc = pc + INST_SIZE as u64;
             let seq_before = self.main.cycles;
             let effect = exec_inst(&mut self.main, &mut self.mem, &inst, next_pc)?;
@@ -379,7 +468,7 @@ impl Dbm {
     }
 
     fn handle_external_main(&mut self, plt: u32) -> Result<()> {
-        match self.process.resolve_plt(plt)?.clone() {
+        match self.prepared.parts.process.resolve_plt(plt)?.clone() {
             ResolvedPlt::Guest { addr, .. } => {
                 self.main.pc = addr;
                 Ok(())
@@ -471,14 +560,25 @@ impl Dbm {
     /// updated and `main.pc` points after the loop), or `false` if this
     /// invocation must run sequentially.
     fn try_parallel_loop(&mut self, loop_id: usize) -> Result<bool> {
-        let lr = self.loops.get(&loop_id).cloned().ok_or(DbmError::BadRule {
-            reason: format!("unknown loop {loop_id}"),
-        })?;
+        let lr = self
+            .prepared
+            .parts
+            .loops
+            .get(&loop_id)
+            .cloned()
+            .ok_or(DbmError::BadRule {
+                reason: format!("unknown loop {loop_id}"),
+            })?;
         let induction = lr.induction.expect("loop has induction variable");
 
         // Evaluate the current induction value and the loop bound.
         let start = induction.read(&self.main, &mut self.mem);
-        let bound_inst = self.process.inst_at(lr.bound_cmp_addr)?.clone();
+        let bound_inst = self
+            .prepared
+            .parts
+            .process
+            .inst_at(lr.bound_cmp_addr)?
+            .clone();
         let bound_operand = match &bound_inst {
             Inst::Cmp { rhs, .. } => *rhs,
             other => {
@@ -591,7 +691,7 @@ impl Dbm {
         // effects back before returning.
         let backend = self.config.backend.backend();
         let ctx = ChunkContext {
-            process: &self.process,
+            process: &self.prepared.parts.process,
             lr: &lr,
             config: &self.config,
         };
@@ -731,7 +831,7 @@ impl Dbm {
 
         // Split the borrows the iteration body needs off `self` so the guest
         // memory can be temporarily moved into the engine.
-        let process = &self.process;
+        let process = &self.prepared.parts.process;
         let cycle_limit = self.config.cycle_limit;
         let reductions = &lr.reductions;
         let finish_addrs = &lr.finish_addrs;
@@ -810,8 +910,13 @@ impl Dbm {
                 }
             }
         };
-        let invocation =
-            backend.run_speculative_invocation(&spec_config, &mut base, iterations as usize, &body);
+        let invocation = backend.run_speculative_invocation(
+            &spec_config,
+            self.config.spec_commit,
+            &mut base,
+            iterations as usize,
+            &body,
+        );
         self.mem = base;
         self.stats.parallel_wall_nanos += invocation.wall_nanos;
         self.stats.os_threads_used = self.stats.os_threads_used.max(invocation.os_threads);

@@ -280,6 +280,20 @@ impl JBinary {
         self.to_bytes().len() as u64
     }
 
+    /// Content digest of the binary: a 64-bit FNV-1a hash over the exact
+    /// serialised image ([`JBinary::to_bytes`]). Byte-identical binaries
+    /// always share a digest, so it is a stable content-addressed key for
+    /// caches of derived artifacts (analyses, rewrite schedules) across
+    /// processes and machines. FNV-1a is fast, not collision-resistant:
+    /// distinct binaries colliding is vanishingly unlikely by accident but
+    /// constructible on purpose, so digest-keyed caches assume their
+    /// tenants are trusted (swap in a cryptographic hash at this one site
+    /// to drop that assumption).
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+
     /// Map from address to function symbol, for diagnostics.
     #[must_use]
     pub fn function_map(&self) -> BTreeMap<u64, &str> {
@@ -405,6 +419,17 @@ impl fmt::Display for JBinary {
             self.symbols.len()
         )
     }
+}
+
+/// 64-bit FNV-1a over a byte slice — the shared content-digest primitive
+/// (dependency-free, stable across platforms).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
@@ -572,6 +597,24 @@ mod tests {
         bin.relocate(crate::layout::SYSLIB_BASE, crate::layout::SYSLIB_DATA_BASE);
         assert_eq!(bin.text_base(), crate::layout::SYSLIB_BASE);
         assert!(bin.text_contains(crate::layout::SYSLIB_BASE));
+    }
+
+    #[test]
+    fn content_digest_tracks_byte_identity() {
+        let a = simple_binary();
+        let b = simple_binary();
+        assert_eq!(a.content_digest(), b.content_digest());
+        assert_eq!(
+            a.content_digest(),
+            JBinary::from_bytes(&a.to_bytes()).unwrap().content_digest(),
+            "round-tripping must preserve the digest"
+        );
+        let mut c = simple_binary();
+        c.set_producer("jcc -O2");
+        assert_ne!(a.content_digest(), c.content_digest());
+        let mut d = simple_binary();
+        d.strip();
+        assert_ne!(a.content_digest(), d.content_digest());
     }
 
     #[test]

@@ -310,6 +310,22 @@ impl RewriteSchedule {
         self.to_bytes().len() as u64
     }
 
+    /// Content digest of the schedule: a 64-bit FNV-1a hash over the exact
+    /// serialised image ([`RewriteSchedule::to_bytes`]). Serving layers key
+    /// cached artifacts by the guest binary's digest; this companion digest
+    /// identifies the derived schedule itself, so a cache entry can be
+    /// audited (binary digest in, schedule digest out) without comparing
+    /// rule lists.
+    #[must_use]
+    pub fn content_digest(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Serialises the schedule.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -412,6 +428,14 @@ impl RuleIndex {
     }
 }
 
+// Schedules (and their per-address indices) are cached content-addressed and
+// shared across serving worker threads; keep them cheap-to-clone plain data.
+const _: () = {
+    const fn artifact<T: Clone + Send + Sync>() {}
+    artifact::<RewriteSchedule>();
+    artifact::<RuleIndex>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,6 +476,17 @@ mod tests {
         let back = RewriteSchedule::from_bytes(&bytes).unwrap();
         assert_eq!(back, s);
         assert_eq!(back.byte_size(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn content_digest_tracks_rule_content() {
+        let mut a = RewriteSchedule::new("470.lbm");
+        a.push(RewriteRule::new(0x400100, RuleId::LoopInit).with_data(0, 7));
+        let mut b = RewriteSchedule::new("470.lbm");
+        b.push(RewriteRule::new(0x400100, RuleId::LoopInit).with_data(0, 7));
+        assert_eq!(a.content_digest(), b.content_digest());
+        b.push(RewriteRule::new(0x400180, RuleId::LoopFinish).with_data(0, 7));
+        assert_ne!(a.content_digest(), b.content_digest());
     }
 
     #[test]

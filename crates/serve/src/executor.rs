@@ -1,0 +1,304 @@
+//! The bounded job executor: a pool of OS worker threads draining a
+//! submission queue, resolving artifacts through the [`ArtifactCache`] and
+//! executing jobs via the cached [`PreparedDbm`](janus_core::PreparedDbm).
+
+use crate::cache::{Artifact, ArtifactCache};
+use crate::{JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats};
+use janus_core::{Janus, PreparedDbm};
+use janus_vm::Process;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// The submission queue and result store, guarded by one mutex.
+#[derive(Default)]
+struct QueueState {
+    pending: VecDeque<(JobId, JobSpec)>,
+    running: usize,
+    next_id: u64,
+    finished: BTreeMap<u64, Result<JobReport, ServeError>>,
+}
+
+/// State shared between the handle and the worker threads.
+struct Shared {
+    janus: Janus,
+    config: ServeConfig,
+    cache: ArtifactCache,
+    state: Mutex<QueueState>,
+    /// Wakes workers when a job is queued (or shutdown begins).
+    work_ready: Condvar,
+    /// Wakes [`ServeHandle::join`] when a job finishes.
+    job_done: Condvar,
+    stop: AtomicBool,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    jobs_rejected: AtomicU64,
+    max_in_flight_seen: AtomicU64,
+}
+
+/// A running serving session: worker pool plus submission interface.
+///
+/// Obtained from [`ServeSession::serve`](crate::ServeSession::serve). Jobs
+/// go in through [`submit`](ServeHandle::submit) /
+/// [`submit_batch`](ServeHandle::submit_batch); results come back from
+/// [`join`](ServeHandle::join) in submission order. Dropping the handle (or
+/// calling [`shutdown`](ServeHandle::shutdown)) stops the workers after
+/// their current job; queued-but-unstarted jobs are abandoned, so call
+/// [`join`](ServeHandle::join) first if every submitted job must finish.
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("workers", &self.workers.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ServeHandle {
+    /// Starts a session: allocates the artifact cache and spawns the worker
+    /// pool.
+    #[must_use]
+    pub(crate) fn start(janus: Janus, config: ServeConfig) -> ServeHandle {
+        let cache = ArtifactCache::with_shards(config.cache_capacity, config.cache_shards);
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            janus,
+            config,
+            cache,
+            state: Mutex::new(QueueState::default()),
+            work_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            stop: AtomicBool::new(false),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            jobs_failed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
+            max_in_flight_seen: AtomicU64::new(0),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("janus-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        ServeHandle { shared, workers }
+    }
+
+    /// Submits one job. Admission control applies: a full pending queue (or
+    /// in-flight cap) rejects with [`ServeError::Saturated`] instead of
+    /// queueing unboundedly — back off and resubmit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Saturated`] when admission control rejects the job,
+    /// [`ServeError::ShuttingDown`] after [`ServeHandle::shutdown`] began.
+    pub fn submit(&self, job: JobSpec) -> Result<JobId, ServeError> {
+        let shared = &self.shared;
+        if shared.stop.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut state = shared.state.lock().expect("serve queue poisoned");
+        let in_flight = state.pending.len() + state.running;
+        let limit = shared.config.effective_max_in_flight();
+        if state.pending.len() >= shared.config.queue_depth || in_flight >= limit {
+            shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Saturated { in_flight, limit });
+        }
+        let id = JobId(state.next_id);
+        state.next_id += 1;
+        state.pending.push_back((id, job));
+        shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .max_in_flight_seen
+            .fetch_max(in_flight as u64 + 1, Ordering::Relaxed);
+        drop(state);
+        shared.work_ready.notify_one();
+        Ok(id)
+    }
+
+    /// Submits a batch of jobs, stopping at the first rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the ids accepted so far alongside the error that stopped the
+    /// batch; the accepted jobs stay queued and will run.
+    pub fn submit_batch(
+        &self,
+        jobs: impl IntoIterator<Item = JobSpec>,
+    ) -> Result<Vec<JobId>, (Vec<JobId>, ServeError)> {
+        let mut accepted = Vec::new();
+        for job in jobs {
+            match self.submit(job) {
+                Ok(id) => accepted.push(id),
+                Err(e) => return Err((accepted, e)),
+            }
+        }
+        Ok(accepted)
+    }
+
+    /// Waits until every submitted job has finished and drains their
+    /// outcomes, ordered by [`JobId`] (= submission order). Jobs submitted
+    /// concurrently with the wait are waited for too; outcomes are returned
+    /// once, so alternating `submit`/`join` rounds each get their own
+    /// results.
+    #[must_use]
+    pub fn join(&self) -> Vec<JobOutcome> {
+        let shared = &self.shared;
+        let mut state = shared.state.lock().expect("serve queue poisoned");
+        while state.running > 0 || !state.pending.is_empty() {
+            state = shared.job_done.wait(state).expect("serve queue poisoned");
+        }
+        std::mem::take(&mut state.finished)
+            .into_iter()
+            .map(|(id, result)| (JobId(id), result))
+            .collect()
+    }
+
+    /// Snapshots the session's counters: cache hit/miss/in-flight/eviction,
+    /// job admission and completion, and the in-flight high-water mark.
+    #[must_use]
+    pub fn stats(&self) -> ServeStats {
+        let shared = &self.shared;
+        let (pending, running) = {
+            let state = shared.state.lock().expect("serve queue poisoned");
+            (state.pending.len() as u64, state.running as u64)
+        };
+        ServeStats {
+            cache_hits: shared.cache.hits(),
+            cache_misses: shared.cache.misses(),
+            cache_inflight_waits: shared.cache.inflight_waits(),
+            cache_evictions: shared.cache.evictions(),
+            cache_entries: shared.cache.len() as u64,
+            jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
+            jobs_pending: pending,
+            jobs_running: running,
+            max_in_flight_seen: shared.max_in_flight_seen.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the session: workers finish their current job and exit, then
+    /// the final statistics snapshot is returned. Call
+    /// [`join`](ServeHandle::join) first to let queued jobs drain.
+    #[must_use]
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop_and_join();
+        self.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.work_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One worker: pop a job, resolve its artifact, execute, publish the result.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, job) = {
+            let mut state = shared.state.lock().expect("serve queue poisoned");
+            loop {
+                // Stop is checked before popping so shutdown abandons
+                // queued-but-unstarted jobs after at most one in-progress
+                // job per worker, as the handle documents — `join` first if
+                // the queue must drain.
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(next) = state.pending.pop_front() {
+                    state.running += 1;
+                    break next;
+                }
+                state = shared.work_ready.wait(state).expect("serve queue poisoned");
+            }
+        };
+        let result = run_job(shared, id, &job);
+        if result.is_err() {
+            shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut state = shared.state.lock().expect("serve queue poisoned");
+            state.running -= 1;
+            state.finished.insert(id.0, result);
+        }
+        shared.job_done.notify_all();
+    }
+}
+
+/// Resolves the job's artifact through the cache (building it — exactly
+/// once per digest — on first sight) and executes the job against it with
+/// the session configuration plus per-job overrides.
+fn run_job(shared: &Shared, id: JobId, job: &JobSpec) -> Result<JobReport, ServeError> {
+    let digest = job.binary_digest;
+    // The job clock covers artifact resolution too, so first-submission
+    // build latency (and gate waits) show up in the wall-time distribution.
+    let start = Instant::now();
+    let artifact = shared.cache.get_or_build(digest, || {
+        let pipeline = shared
+            .janus
+            .prepare(&job.binary, &shared.config.train_input)
+            .map_err(|e| ServeError::Build {
+                digest,
+                reason: e.to_string(),
+            })?;
+        let process = Process::load(&job.binary).map_err(|e| ServeError::Build {
+            digest,
+            reason: e.to_string(),
+        })?;
+        let prepared = PreparedDbm::new(process, &pipeline.schedule, shared.janus.dbm_config());
+        Ok(Artifact::new(pipeline, prepared))
+    })?;
+
+    let mut config = shared.janus.dbm_config();
+    if let Some(threads) = job.threads {
+        config.threads = threads;
+    }
+    if let Some(backend) = job.backend {
+        config.backend = backend;
+    }
+    if let Some(mode) = job.spec_commit {
+        config.spec_commit = mode;
+    }
+
+    let run = artifact
+        .prepared
+        .execute_with(&job.input, config)
+        .map_err(ServeError::Execution)?;
+    Ok(JobReport {
+        id,
+        binary_digest: digest,
+        schedule_digest: artifact.schedule_digest,
+        backend: config.backend,
+        threads: config.threads,
+        exit_code: run.exit_code,
+        cycles: run.cycles,
+        output_ints: run.output_ints,
+        output_floats: run.output_floats,
+        memory_digest: run.memory_digest,
+        stats: run.stats,
+        wall_nanos: start.elapsed().as_nanos() as u64,
+    })
+}

@@ -1,0 +1,470 @@
+//! # janus-serve — the multi-tenant serving layer
+//!
+//! Janus front-loads static analysis into a compact rewrite schedule
+//! precisely so the expensive part is done **once per binary** and the
+//! dynamic modifier can reuse it on every run — yet driving the pipeline
+//! through [`Janus::run`](janus_core::Janus::run) re-analyses, re-classifies
+//! and re-schedules the guest on every invocation. This crate supplies the
+//! subsystem that amortises that work across runs and executes many guest
+//! invocations concurrently: a job runtime that accepts batches of guest
+//! invocations (binary + input + per-job configuration), keyed by a content
+//! digest of the `JBin`.
+//!
+//! ## Architecture
+//!
+//! * [`ArtifactCache`] — a **sharded, content-addressed store** mapping
+//!   [`JBinary::content_digest`] to the binary's derived artifacts: the
+//!   static analysis, the optional profile, the selected loops, the
+//!   generated [`RewriteSchedule`](janus_core::PipelineArtifacts) and a
+//!   [`PreparedDbm`](janus_core::PreparedDbm) ready to execute. Each digest
+//!   is built **exactly once** under a per-key build gate: concurrent
+//!   submissions of the same binary elect one builder and every other
+//!   submitter blocks on the gate until the artifact is published (counted
+//!   as `cache_inflight_waits`, not as extra builds). Entries are bounded by
+//!   a per-shard LRU; hit/miss/in-flight/eviction counters surface in
+//!   [`ServeStats`].
+//! * [`ServeHandle`] — a **bounded job executor**: a pool of OS worker
+//!   threads drains a submission queue, resolves each job's artifact through
+//!   the cache and runs it via [`PreparedDbm::execute_with`](janus_core::PreparedDbm::execute_with)
+//!   (fresh guest memory per run, so concurrent jobs never observe each
+//!   other). Admission control caps the pending queue depth and the total
+//!   number of in-flight jobs; saturated submissions fail fast with the
+//!   typed [`ServeError::Saturated`] instead of queueing unboundedly.
+//! * [`ServeSession`] — the session API on the `janus` facade:
+//!   `janus.serve(ServeConfig)` returns a [`ServeHandle`] with
+//!   [`submit`](ServeHandle::submit) / [`submit_batch`](ServeHandle::submit_batch)
+//!   / [`join`](ServeHandle::join), so callers drive the serving layer
+//!   without touching internals.
+//!
+//! ## The digest-keyed artifact lifecycle
+//!
+//! 1. A job arrives carrying an `Arc<JBinary>`; its
+//!    [`content_digest`](janus_ir::JBinary::content_digest) (a stable FNV-1a
+//!    hash of the serialised image) is the cache key.
+//! 2. On the first submission of a digest, the executing worker becomes the
+//!    *builder*: it runs the front half of the pipeline
+//!    ([`Janus::prepare`](janus_core::Janus::prepare) — analysis, optional
+//!    profiling on the configured training input, loop selection, schedule
+//!    generation), loads the process and decodes the schedule into a
+//!    [`PreparedDbm`](janus_core::PreparedDbm). Concurrent submissions of
+//!    the same digest wait on the build gate; **exactly one analysis runs**.
+//! 3. The published [`Artifact`] is immutable plain data behind an `Arc`;
+//!    any number of jobs execute against it concurrently, each with a fresh
+//!    guest image and per-job backend/thread overrides.
+//! 4. When the cache exceeds its capacity bound, the least-recently-used
+//!    artifact of the over-full shard is evicted; resubmitting that binary
+//!    simply rebuilds it (a new miss).
+//!
+//! Guest results are independent of all of this: a job's outputs and final
+//! memory digest are identical whether it ran through the serving layer, on
+//! which worker, at which cache state, or serially through
+//! [`PreparedDbm::execute`](janus_core::PreparedDbm::execute) — the
+//! equivalence tests in `tests/serve.rs` pin exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use janus_core::Janus;
+//! use janus_serve::{JobSpec, ServeConfig, ServeSession};
+//! use janus_compile::{ast, Compiler};
+//!
+//! let program = ast::Program::builder("axpy")
+//!     .global_f64("x", 512)
+//!     .global_f64("y", 512)
+//!     .function(ast::Function::new("main").local("i", ast::Ty::I64).body(vec![
+//!         ast::Stmt::simple_for(
+//!             "i",
+//!             ast::Expr::const_i(0),
+//!             ast::Expr::const_i(512),
+//!             vec![ast::Stmt::assign(
+//!                 ast::LValue::store("y", ast::Expr::var("i")),
+//!                 ast::Expr::add(
+//!                     ast::Expr::load("x", ast::Expr::var("i")),
+//!                     ast::Expr::load("y", ast::Expr::var("i")),
+//!                 ),
+//!             )],
+//!         ),
+//!         ast::Stmt::print(ast::Expr::load("y", ast::Expr::const_i(100))),
+//!     ]))
+//!     .build();
+//! let binary = Arc::new(Compiler::new().compile(&program).unwrap());
+//!
+//! let handle = Janus::new().serve(ServeConfig::default());
+//! // Two submissions of the same binary: one analysis, one cache hit.
+//! handle.submit(JobSpec::new(binary.clone())).unwrap();
+//! handle.submit(JobSpec::new(binary)).unwrap();
+//! let outcomes = handle.join();
+//! assert_eq!(outcomes.len(), 2);
+//! let stats = handle.stats();
+//! assert_eq!(stats.cache_misses, 1);
+//! assert_eq!(stats.cache_hits + stats.cache_inflight_waits, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cache;
+mod executor;
+
+pub use cache::{Artifact, ArtifactCache};
+pub use executor::ServeHandle;
+
+use janus_core::{BackendKind, Janus, SpecCommitMode};
+use janus_dbm::DbmError;
+use janus_ir::JBinary;
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration of one serving session ([`ServeSession::serve`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// OS worker threads draining the submission queue.
+    pub workers: usize,
+    /// Pending (queued, not yet running) jobs admitted before submissions
+    /// fail with [`ServeError::Saturated`].
+    pub queue_depth: usize,
+    /// Cap on total in-flight jobs (pending + running). `0` means
+    /// `queue_depth + workers` — the natural bound.
+    pub max_in_flight: usize,
+    /// Artifact-cache capacity in entries (distinct binaries). The bound is
+    /// enforced per shard, so it is exact when `cache_shards == 1` and a
+    /// high-water mark otherwise.
+    pub cache_capacity: usize,
+    /// Number of cache shards (lock-contention knob; each shard has its own
+    /// mutex and LRU clock).
+    pub cache_shards: usize,
+    /// Training input used when the configured optimisation mode profiles a
+    /// newly seen binary. One fixed input per session keeps artifacts a pure
+    /// function of the binary digest.
+    pub train_input: Vec<i64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_in_flight: 0,
+            cache_capacity: 64,
+            cache_shards: 8,
+            train_input: Vec::new(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The effective in-flight cap: `max_in_flight`, defaulting to
+    /// `queue_depth + workers` when 0.
+    #[must_use]
+    pub fn effective_max_in_flight(&self) -> usize {
+        if self.max_in_flight == 0 {
+            self.queue_depth + self.workers
+        } else {
+            self.max_in_flight
+        }
+    }
+}
+
+/// Errors raised by the serving layer.
+///
+/// `Clone` because one build failure is shared with every submission that
+/// waited on the same in-progress build.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Admission control rejected the submission: the queue (or the
+    /// in-flight cap) is full. Back off and resubmit.
+    Saturated {
+        /// In-flight jobs (pending + running) at rejection time.
+        in_flight: usize,
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// Building the binary's artifacts (analysis, profiling, schedule
+    /// generation or process load) failed.
+    Build {
+        /// Content digest of the failing binary.
+        digest: u64,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// The job's guest execution failed.
+    Execution(DbmError),
+    /// The session is shutting down; no further submissions are accepted.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Saturated { in_flight, limit } => {
+                write!(
+                    f,
+                    "serving queue saturated ({in_flight} in flight, limit {limit})"
+                )
+            }
+            ServeError::Build { digest, reason } => {
+                write!(
+                    f,
+                    "artifact build failed for binary {digest:#018x}: {reason}"
+                )
+            }
+            ServeError::Execution(e) => write!(f, "job execution failed: {e}"),
+            ServeError::ShuttingDown => write!(f, "serving session is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<DbmError> for ServeError {
+    fn from(e: DbmError) -> Self {
+        ServeError::Execution(e)
+    }
+}
+
+/// Counters describing one serving session, snapshotted by
+/// [`ServeHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Cache lookups served from a ready artifact.
+    pub cache_hits: u64,
+    /// Cache lookups that started a build — i.e. the number of analyses
+    /// actually run. Concurrent submissions of one binary contribute 1 here.
+    pub cache_misses: u64,
+    /// Cache lookups that blocked on another submission's in-progress build
+    /// of the same digest (amortised to zero extra analyses).
+    pub cache_inflight_waits: u64,
+    /// Artifacts evicted by the LRU capacity bound.
+    pub cache_evictions: u64,
+    /// Distinct artifacts currently resident.
+    pub cache_entries: u64,
+    /// Jobs accepted by admission control.
+    pub jobs_submitted: u64,
+    /// Jobs that finished (successfully or not).
+    pub jobs_completed: u64,
+    /// Jobs that finished with an error.
+    pub jobs_failed: u64,
+    /// Submissions rejected with [`ServeError::Saturated`].
+    pub jobs_rejected: u64,
+    /// Jobs currently queued, not yet picked up by a worker.
+    pub jobs_pending: u64,
+    /// Jobs currently executing on a worker.
+    pub jobs_running: u64,
+    /// High-water mark of in-flight jobs (pending + running).
+    pub max_in_flight_seen: u64,
+}
+
+impl ServeStats {
+    /// Fraction of cache lookups that did not build: hits plus in-flight
+    /// waits over all lookups (0 when nothing was looked up).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let amortised = self.cache_hits + self.cache_inflight_waits;
+        let total = amortised + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            amortised as f64 / total as f64
+        }
+    }
+}
+
+/// Identifier of one submitted job, unique within its session and ordered by
+/// submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One guest invocation submitted to the serving layer: the binary, its
+/// input, and optional per-job overrides of the session configuration.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The guest binary. `Arc` so batches over the same binary share one
+    /// allocation (the cache key is the content digest, not the pointer).
+    pub binary: Arc<JBinary>,
+    /// The binary's content digest, computed once in [`JobSpec::new`] —
+    /// digesting re-serialises the whole binary, so batches should build
+    /// one `JobSpec` per binary and [`Clone`] it per job rather than
+    /// re-wrapping the `Arc` each time.
+    pub binary_digest: u64,
+    /// Simulated standard input for the run.
+    pub input: Vec<i64>,
+    /// Per-job override of the worker thread count for parallel loops.
+    pub threads: Option<u32>,
+    /// Per-job override of the execution backend.
+    pub backend: Option<BackendKind>,
+    /// Per-job override of the speculative commit mode (e.g.
+    /// [`SpecCommitMode::RacedImage`] for jobs that do not consume modelled
+    /// figures).
+    pub spec_commit: Option<SpecCommitMode>,
+}
+
+impl JobSpec {
+    /// A job running `binary` on an empty input with session defaults.
+    /// Computes the binary's content digest here, once; clones share it.
+    #[must_use]
+    pub fn new(binary: Arc<JBinary>) -> JobSpec {
+        let binary_digest = binary.content_digest();
+        JobSpec {
+            binary,
+            binary_digest,
+            input: Vec::new(),
+            threads: None,
+            backend: None,
+            spec_commit: None,
+        }
+    }
+
+    /// Sets the job's input.
+    #[must_use]
+    pub fn with_input(mut self, input: Vec<i64>) -> JobSpec {
+        self.input = input;
+        self
+    }
+
+    /// Overrides the thread count for this job.
+    #[must_use]
+    pub fn with_threads(mut self, threads: u32) -> JobSpec {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Overrides the execution backend for this job.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> JobSpec {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Overrides the speculative commit mode for this job.
+    #[must_use]
+    pub fn with_spec_commit(mut self, mode: SpecCommitMode) -> JobSpec {
+        self.spec_commit = Some(mode);
+        self
+    }
+}
+
+/// What one completed job produced.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's identifier.
+    pub id: JobId,
+    /// Content digest of the binary that ran (the artifact-cache key).
+    pub binary_digest: u64,
+    /// Content digest of the cached rewrite schedule the run used.
+    pub schedule_digest: u64,
+    /// Backend the job executed under (session default or per-job override).
+    pub backend: BackendKind,
+    /// Thread count the job executed with.
+    pub threads: u32,
+    /// Guest exit code.
+    pub exit_code: i64,
+    /// Modelled cycles of the run.
+    pub cycles: u64,
+    /// Integers written by the guest.
+    pub output_ints: Vec<i64>,
+    /// Floats written by the guest.
+    pub output_floats: Vec<f64>,
+    /// Digest of the final guest memory image — byte-identical to a serial
+    /// run of the same binary and input.
+    pub memory_digest: u64,
+    /// Detailed execution statistics.
+    pub stats: janus_dbm::DbmStats,
+    /// Wall-clock nanoseconds from the start of artifact resolution (cache
+    /// lookup, build for the building submission, gate wait for concurrent
+    /// ones) through guest execution — the job's end-to-end service time on
+    /// its worker.
+    pub wall_nanos: u64,
+}
+
+/// One entry of [`ServeHandle::join`]'s result: the job and how it ended.
+pub type JobOutcome = (JobId, Result<JobReport, ServeError>);
+
+/// The session API: anything that can open a serving session. Implemented
+/// for [`Janus`], so `janus.serve(config)` is the one entry point —
+/// re-exported by the facade crate.
+pub trait ServeSession {
+    /// Opens a serving session: spawns the worker pool and returns the
+    /// handle jobs are submitted through.
+    fn serve(&self, config: ServeConfig) -> ServeHandle;
+}
+
+impl ServeSession for Janus {
+    fn serve(&self, config: ServeConfig) -> ServeHandle {
+        ServeHandle::start(self.clone(), config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_convert() {
+        let e = ServeError::Saturated {
+            in_flight: 9,
+            limit: 8,
+        };
+        assert!(e.to_string().contains("9 in flight"));
+        let e = ServeError::Build {
+            digest: 0xabcd,
+            reason: "no loops".into(),
+        };
+        assert!(e.to_string().contains("no loops"));
+        let e: ServeError = DbmError::BadRule { reason: "x".into() }.into();
+        assert!(matches!(e, ServeError::Execution(_)));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
+    }
+
+    #[test]
+    fn config_derives_the_in_flight_cap() {
+        let config = ServeConfig::default();
+        assert_eq!(
+            config.effective_max_in_flight(),
+            config.queue_depth + config.workers
+        );
+        let explicit = ServeConfig {
+            max_in_flight: 17,
+            ..ServeConfig::default()
+        };
+        assert_eq!(explicit.effective_max_in_flight(), 17);
+    }
+
+    #[test]
+    fn stats_hit_rate_amortises_inflight_waits() {
+        let stats = ServeStats {
+            cache_hits: 6,
+            cache_misses: 2,
+            cache_inflight_waits: 2,
+            ..ServeStats::default()
+        };
+        assert!((stats.cache_hit_rate() - 0.8).abs() < 1e-12);
+        assert_eq!(ServeStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn job_spec_builders_set_overrides() {
+        let mut asm = janus_ir::AsmBuilder::new();
+        asm.label("main");
+        asm.push(janus_ir::Inst::Halt);
+        let binary = Arc::new(asm.finish_binary("main").unwrap());
+        let job = JobSpec::new(binary)
+            .with_input(vec![1, 2])
+            .with_threads(2)
+            .with_backend(BackendKind::NativeThreads)
+            .with_spec_commit(SpecCommitMode::RacedImage);
+        assert_eq!(job.input, vec![1, 2]);
+        assert_eq!(job.threads, Some(2));
+        assert_eq!(job.backend, Some(BackendKind::NativeThreads));
+        assert_eq!(job.spec_commit, Some(SpecCommitMode::RacedImage));
+    }
+}

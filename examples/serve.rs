@@ -1,0 +1,131 @@
+//! Serving mode: drive a mixed batch of guest invocations through a
+//! `janus-serve` session and watch the content-addressed artifact cache
+//! amortise analysis across jobs.
+//!
+//! The batch mixes a DOALL stencil (`470.lbm`), a bounds-checked pointer
+//! kernel (`459.GemsFDTD`) and a may-dependent scatter (`spec.histogram`),
+//! submits every binary several times — including per-job backend overrides,
+//! so virtual-time and native-thread jobs interleave in one session — and
+//! cross-checks each result against a serial run of the same cached
+//! artifact.
+//!
+//! Run with:
+//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N]`
+
+use janus::core::{BackendKind, Janus, JanusConfig, PreparedDbm};
+use janus::serve::{JobSpec, ServeConfig, ServeSession};
+use janus::vm::Process;
+use janus::workloads::workload;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[path = "util/flags.rs"]
+mod flags;
+
+const NAMES: [&str; 3] = ["470.lbm", "459.GemsFDTD", "spec.histogram"];
+const JOBS_PER_BINARY: usize = 4;
+
+fn main() {
+    let (backend, threads) = flags::parse(4);
+    let janus = Janus::with_config(JanusConfig {
+        threads,
+        backend,
+        ..JanusConfig::default()
+    });
+
+    // Compile the mixed workload set once; the serving layer keys everything
+    // else off each binary's content digest.
+    let binaries: Vec<(&str, Arc<janus::ir::JBinary>)> = NAMES
+        .iter()
+        .map(|name| {
+            let w = workload(name).expect("workload exists");
+            let binary = janus::compile::Compiler::new()
+                .compile(&w.train_program)
+                .expect("compiles");
+            (*name, Arc::new(binary))
+        })
+        .collect();
+
+    // Serial references: the same cached-artifact path, one job at a time.
+    let mut reference = HashMap::new();
+    for (name, binary) in &binaries {
+        let artifacts = janus.prepare(binary, &[]).expect("prepares");
+        let prepared = PreparedDbm::new(
+            Process::load(binary).expect("loads"),
+            &artifacts.schedule,
+            janus.dbm_config(),
+        );
+        let run = prepared.execute(&[]).expect("serial run succeeds");
+        println!(
+            "{name:<16} digest {:#018x}: {} selected loops, schedule {} bytes",
+            binary.content_digest(),
+            artifacts.selected_loops.len(),
+            artifacts.schedule_size,
+        );
+        reference.insert(*name, run);
+    }
+
+    // The serving session: 4 workers, every binary submitted several times,
+    // alternating the execution backend per job.
+    let handle = janus.serve(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    // One spec per binary (the content digest is computed once in
+    // `JobSpec::new`), cloned per submission with its per-job override.
+    let specs: Vec<(&str, JobSpec)> = binaries
+        .iter()
+        .map(|(name, binary)| (*name, JobSpec::new(binary.clone())))
+        .collect();
+    let mut submitted = Vec::new();
+    for round in 0..JOBS_PER_BINARY {
+        for (i, (name, spec)) in specs.iter().enumerate() {
+            let job_backend = if (round + i) % 2 == 0 {
+                BackendKind::VirtualTime
+            } else {
+                BackendKind::NativeThreads
+            };
+            let id = handle
+                .submit(spec.clone().with_backend(job_backend))
+                .expect("queue has room for the batch");
+            submitted.push((id, *name));
+        }
+    }
+
+    let outcomes = handle.join();
+    let mut matches = 0;
+    for ((id, outcome), (_, name)) in outcomes.iter().zip(&submitted) {
+        let report = outcome.as_ref().expect("job succeeds");
+        let expect = &reference[name];
+        assert_eq!(report.memory_digest, expect.memory_digest, "{id} {name}");
+        assert_eq!(report.output_ints, expect.output_ints, "{id} {name}");
+        assert_eq!(report.output_floats, expect.output_floats, "{id} {name}");
+        matches += 1;
+    }
+
+    let stats = handle.shutdown();
+    println!(
+        "\n{} jobs over {} binaries: all {} match their serial runs",
+        outcomes.len(),
+        binaries.len(),
+        matches
+    );
+    println!(
+        "cache: {} analyses, {} hits + {} in-flight waits ({:.0}% amortised), {} resident",
+        stats.cache_misses,
+        stats.cache_hits,
+        stats.cache_inflight_waits,
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_entries,
+    );
+    println!(
+        "jobs: {} submitted, {} completed, {} failed, {} rejected, peak in-flight {}",
+        stats.jobs_submitted,
+        stats.jobs_completed,
+        stats.jobs_failed,
+        stats.jobs_rejected,
+        stats.max_in_flight_seen,
+    );
+    assert_eq!(stats.cache_misses, binaries.len() as u64);
+    assert_eq!(stats.jobs_failed, 0);
+}

@@ -13,6 +13,8 @@
 //! * [`dbm`] — the dynamic binary modifier and parallel runtime.
 //! * [`spec`] — Block-STM-style speculative DOACROSS loop execution.
 //! * [`core`] — the end-to-end Janus pipeline.
+//! * [`serve`] — the multi-tenant serving layer: content-addressed
+//!   analysis/schedule cache plus a bounded concurrent job executor.
 //! * [`workloads`] — the synthetic SPEC-like benchmark programs.
 //!
 //! # Quickstart
@@ -29,6 +31,32 @@
 //! assert!(report.outputs_match);
 //! assert!(report.speedup() > 1.0);
 //! ```
+//!
+//! # Serving many invocations
+//!
+//! For batch and multi-tenant workloads, open a serving session instead of
+//! calling [`core::Janus::run`] per invocation: the session caches each
+//! binary's analysis and rewrite schedule by content digest (built exactly
+//! once, however many clients submit it) and executes jobs concurrently on
+//! a bounded worker pool.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use janus::core::Janus;
+//! use janus::serve::{JobSpec, ServeConfig, ServeSession};
+//! use janus::workloads::workload;
+//!
+//! let w = workload("470.lbm").expect("workload exists");
+//! let binary = Arc::new(
+//!     janus::compile::Compiler::new().compile(&w.train_program).expect("compiles"),
+//! );
+//! let handle = Janus::new().serve(ServeConfig::default());
+//! handle.submit(JobSpec::new(binary.clone())).expect("admitted");
+//! handle.submit(JobSpec::new(binary)).expect("admitted");
+//! let outcomes = handle.join();
+//! assert!(outcomes.iter().all(|(_, r)| r.is_ok()));
+//! assert_eq!(handle.stats().cache_misses, 1, "one analysis for two jobs");
+//! ```
 
 pub use janus_analysis as analysis;
 pub use janus_compile as compile;
@@ -37,6 +65,7 @@ pub use janus_dbm as dbm;
 pub use janus_ir as ir;
 pub use janus_profile as profile;
 pub use janus_schedule as schedule;
+pub use janus_serve as serve;
 pub use janus_spec as spec;
 pub use janus_vm as vm;
 pub use janus_workloads as workloads;
