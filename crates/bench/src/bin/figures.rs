@@ -95,7 +95,11 @@ fn bench_json(threads: u32) {
     // a 4-worker `janus-serve` session (jobs/sec, cache hit rate, p50/p99
     // job wall time) — the trajectory's record of serving performance.
     let serve = bench::serve_throughput(backend, 4, 200);
-    let json = bench::backend_bench_json(&rows, threads, Some(&serve));
+    // The warm-vs-cold serve figure: the suite served against an empty
+    // artifact store, then again by a restarted session over the populated
+    // one — persistence's restart payoff (zero rebuilds) on record.
+    let warm = bench::serve_warm_start(backend, 4);
+    let json = bench::backend_bench_json(&rows, threads, Some(&serve), Some(&warm));
     let path = format!("BENCH_{}.json", backend.label());
     std::fs::write(&path, &json).expect("write benchmark json");
     println!(
@@ -129,6 +133,18 @@ fn bench_json(threads: u32) {
         serve.p50_job_seconds,
         serve.p99_job_seconds,
         serve.failures,
+    );
+    println!(
+        "serve-warm-start: {} workloads: cold {:.3}s ({} analyses) -> \
+         warm {:.3}s ({} analyses, {} disk hits, {:.1}x), store {} bytes",
+        warm.workloads,
+        warm.cold_seconds,
+        warm.cold_misses,
+        warm.warm_seconds,
+        warm.warm_misses,
+        warm.warm_disk_hits,
+        warm.warm_speedup,
+        warm.store_bytes,
     );
 }
 

@@ -561,14 +561,135 @@ pub fn serve_throughput(backend: BackendKind, workers: usize, jobs: usize) -> Se
     }
 }
 
-/// Renders backend-bench rows — plus an optional serving-throughput section
-/// — as a JSON document (no external dependencies; the format is flat and
-/// append-friendly for trend tooling).
+/// One warm-vs-cold serving comparison: the same workload suite served by
+/// a cold session (empty artifact store, every pipeline built) and by a
+/// restarted session over the now-populated store (disk hits only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeWarmStartRow {
+    /// Execution backend the sessions ran on.
+    pub backend: BackendKind,
+    /// Worker threads per session.
+    pub workers: usize,
+    /// Distinct workloads served (one job each per session).
+    pub workloads: usize,
+    /// Wall-clock seconds of the cold session (submit → join).
+    pub cold_seconds: f64,
+    /// Wall-clock seconds of the warm session over the populated store.
+    pub warm_seconds: f64,
+    /// `cold_seconds / warm_seconds` — what persistence buys a restart.
+    pub warm_speedup: f64,
+    /// Analyses run by the cold session (= workloads on a healthy run).
+    pub cold_misses: u64,
+    /// Analyses run by the warm session (**0** on a healthy run — the
+    /// acceptance criterion).
+    pub warm_misses: u64,
+    /// Warm-session artifacts served from the disk store.
+    pub warm_disk_hits: u64,
+    /// Bytes the populated store occupies on disk (schedule compactness,
+    /// Figure 10 flavoured).
+    pub store_bytes: u64,
+    /// Jobs that finished with an error across both sessions (0 healthy).
+    pub failures: u64,
+}
+
+/// Serves the whole workload suite twice — a cold session against an empty
+/// store directory, then a restarted session against the populated one —
+/// and summarises what the persistent artifact store buys a warm start.
+/// The store directory is created under the system temp dir and removed
+/// afterwards.
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile, the store cannot be opened, or a
+/// submission is rejected.
+#[must_use]
+pub fn serve_warm_start(backend: BackendKind, workers: usize) -> ServeWarmStartRow {
+    use janus_serve::{JobSpec, ServeConfig, ServeSession};
+    use std::sync::Arc;
+
+    let names: Vec<&str> = parallel_benchmarks()
+        .into_iter()
+        .chain(speculative_benchmarks())
+        .collect();
+    let binaries: Vec<Arc<JBinary>> = names
+        .iter()
+        .map(|name| Arc::new(compile_train(name, CompileOptions::gcc_o3())))
+        .collect();
+    let janus = Janus::with_config(JanusConfig {
+        threads: 4,
+        backend,
+        ..JanusConfig::default()
+    });
+    let dir = std::env::temp_dir().join(format!(
+        "janus-bench-warm-start-{}-{}",
+        backend.label(),
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = || ServeConfig {
+        workers,
+        store_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    let mut failures = 0;
+    let session = |label: &str| -> (f64, janus_serve::ServeStats) {
+        let handle = janus
+            .try_serve(config())
+            .unwrap_or_else(|e| panic!("{label} session opens its store: {e}"));
+        let start = std::time::Instant::now();
+        for binary in &binaries {
+            handle
+                .submit(JobSpec::new(binary.clone()))
+                .expect("queue sized to the suite");
+        }
+        let outcomes = handle.join();
+        let seconds = start.elapsed().as_secs_f64();
+        assert_eq!(outcomes.len(), binaries.len());
+        (seconds, handle.stats())
+    };
+
+    let (cold_seconds, cold_stats) = session("cold");
+    failures += cold_stats.jobs_failed;
+    let (warm_seconds, warm_stats) = session("warm");
+    failures += warm_stats.jobs_failed;
+
+    let store_bytes = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|ext| ext == "jpa"))
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    ServeWarmStartRow {
+        backend,
+        workers,
+        workloads: names.len(),
+        cold_seconds,
+        warm_seconds,
+        warm_speedup: cold_seconds / warm_seconds.max(1e-9),
+        cold_misses: cold_stats.cache_misses,
+        warm_misses: warm_stats.cache_misses,
+        warm_disk_hits: warm_stats.disk_hits,
+        store_bytes,
+        failures,
+    }
+}
+
+/// Renders backend-bench rows — plus optional serving-throughput and
+/// warm-start sections — as a JSON document (no external dependencies; the
+/// format is flat and append-friendly for trend tooling).
 #[must_use]
 pub fn backend_bench_json(
     rows: &[BackendBenchRow],
     threads: u32,
     serve: Option<&ServeThroughputRow>,
+    warm: Option<&ServeWarmStartRow>,
 ) -> String {
     let mut out = String::from("{\n");
     let backend = rows.first().map_or("unknown", |r| r.backend.label());
@@ -594,28 +715,50 @@ pub fn backend_bench_json(
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    match serve {
-        None => out.push_str("  ]\n}\n"),
-        Some(s) => {
-            out.push_str("  ],\n");
-            out.push_str(&format!(
-                "  \"serve_throughput\": {{\"workers\": {}, \"jobs\": {}, \
-                 \"total_seconds\": {:.6}, \"jobs_per_sec\": {:.3}, \
-                 \"cache_hit_rate\": {:.6}, \"cache_misses\": {}, \
-                 \"p50_job_seconds\": {:.6}, \"p99_job_seconds\": {:.6}, \
-                 \"failures\": {}}}\n",
-                s.workers,
-                s.jobs,
-                s.total_seconds,
-                s.jobs_per_sec,
-                s.cache_hit_rate,
-                s.cache_misses,
-                s.p50_job_seconds,
-                s.p99_job_seconds,
-                s.failures,
-            ));
-            out.push_str("}\n");
-        }
+    let mut sections = Vec::new();
+    if let Some(s) = serve {
+        sections.push(format!(
+            "  \"serve_throughput\": {{\"workers\": {}, \"jobs\": {}, \
+             \"total_seconds\": {:.6}, \"jobs_per_sec\": {:.3}, \
+             \"cache_hit_rate\": {:.6}, \"cache_misses\": {}, \
+             \"p50_job_seconds\": {:.6}, \"p99_job_seconds\": {:.6}, \
+             \"failures\": {}}}",
+            s.workers,
+            s.jobs,
+            s.total_seconds,
+            s.jobs_per_sec,
+            s.cache_hit_rate,
+            s.cache_misses,
+            s.p50_job_seconds,
+            s.p99_job_seconds,
+            s.failures,
+        ));
+    }
+    if let Some(w) = warm {
+        sections.push(format!(
+            "  \"serve_warm_start\": {{\"workers\": {}, \"workloads\": {}, \
+             \"cold_seconds\": {:.6}, \"warm_seconds\": {:.6}, \
+             \"warm_speedup\": {:.3}, \"cold_misses\": {}, \
+             \"warm_misses\": {}, \"warm_disk_hits\": {}, \
+             \"store_bytes\": {}, \"failures\": {}}}",
+            w.workers,
+            w.workloads,
+            w.cold_seconds,
+            w.warm_seconds,
+            w.warm_speedup,
+            w.cold_misses,
+            w.warm_misses,
+            w.warm_disk_hits,
+            w.store_bytes,
+            w.failures,
+        ));
+    }
+    if sections.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n");
+        out.push_str(&sections.join(",\n"));
+        out.push_str("\n}\n");
     }
     out
 }
@@ -668,7 +811,7 @@ mod tests {
                 outputs_match: true,
             },
         ];
-        let json = backend_bench_json(&rows, 8, None);
+        let json = backend_bench_json(&rows, 8, None, None);
         assert!(json.contains("\"backend\": \"native\""));
         assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"name\": \"470.lbm\""));
@@ -693,10 +836,33 @@ mod tests {
             p99_job_seconds: 0.05,
             failures: 0,
         };
-        let json = backend_bench_json(&rows, 8, Some(&serve));
+        let json = backend_bench_json(&rows, 8, Some(&serve), None);
         assert!(json.contains("\"serve_throughput\""));
         assert!(json.contains("\"jobs\": 200"));
         assert!(json.contains("\"cache_hit_rate\": 0.935000"));
+        assert!(
+            json.matches('{').count() == json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+
+        // And with both serving sections present.
+        let warm = ServeWarmStartRow {
+            backend: BackendKind::NativeThreads,
+            workers: 4,
+            workloads: 13,
+            cold_seconds: 1.8,
+            warm_seconds: 0.4,
+            warm_speedup: 4.5,
+            cold_misses: 13,
+            warm_misses: 0,
+            warm_disk_hits: 13,
+            store_bytes: 4096,
+            failures: 0,
+        };
+        let json = backend_bench_json(&rows, 8, Some(&serve), Some(&warm));
+        assert!(json.contains("\"serve_warm_start\""));
+        assert!(json.contains("\"warm_misses\": 0"));
+        assert!(json.contains("\"store_bytes\": 4096"));
         assert!(
             json.matches('{').count() == json.matches('}').count(),
             "balanced braces:\n{json}"
@@ -717,6 +883,16 @@ mod tests {
         );
         assert!(row.jobs_per_sec > 0.0);
         assert!(row.p50_job_seconds <= row.p99_job_seconds);
+    }
+
+    #[test]
+    fn serve_warm_start_replays_the_suite_with_zero_rebuilds() {
+        let row = serve_warm_start(BackendKind::from_env(), 4);
+        assert_eq!(row.failures, 0);
+        assert_eq!(row.cold_misses, row.workloads as u64);
+        assert_eq!(row.warm_misses, 0, "warm session must not rebuild");
+        assert_eq!(row.warm_disk_hits, row.workloads as u64);
+        assert!(row.store_bytes > 0, "the store persisted real entries");
     }
 
     #[test]

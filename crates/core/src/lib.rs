@@ -171,14 +171,30 @@ impl From<DbmError> for JanusError {
 /// rewrite-schedule design exists for. All fields are plain data
 /// (`Clone + Send + Sync`), so an `Arc<PipelineArtifacts>` can be shared
 /// across worker threads freely.
+///
+/// # Persistence
+///
+/// [`PipelineArtifacts::to_bytes`] / [`PipelineArtifacts::from_bytes`]
+/// serialise the *executable* subset — digests, loop selection and the
+/// rewrite schedule (which has its own stable byte format) — so a disk
+/// store can share one preparation across processes and restarts. The
+/// intermediate `analysis` and `profile` are deliberately **not**
+/// persisted: the schedule already encodes every decision derived from
+/// them (that compaction is the paper's central artifact design), so a
+/// deserialised value carries `analysis: None`, `profile: None` and is
+/// every bit as executable as a freshly built one.
 #[derive(Debug, Clone)]
 pub struct PipelineArtifacts {
     /// Content digest of the binary the artifacts were derived from
     /// ([`JBinary::content_digest`]).
     pub binary_digest: u64,
-    /// Static analysis of the binary.
-    pub analysis: BinaryAnalysis,
-    /// Profile data, when the configured mode profiles.
+    /// Static analysis of the binary. `None` when the artifacts were
+    /// deserialised from a persistent store ([`PipelineArtifacts::from_bytes`]):
+    /// execution needs only the schedule, and the analysis is re-derivable
+    /// from the binary with [`Janus::analyze`] when a caller wants it.
+    pub analysis: Option<BinaryAnalysis>,
+    /// Profile data, when the configured mode profiles. `None` for
+    /// deserialised artifacts (see `analysis`).
     pub profile: Option<ProfileData>,
     /// Loop ids selected for parallelisation.
     pub selected_loops: Vec<usize>,
@@ -191,6 +207,210 @@ pub struct PipelineArtifacts {
     pub schedule_size: u64,
     /// Serialised binary size in bytes (for the Figure 10 ratio).
     pub binary_size: u64,
+}
+
+/// Version of the serialised [`PipelineArtifacts`] container format
+/// ([`PipelineArtifacts::to_bytes`]). Independent of
+/// [`janus_schedule::SCHEDULE_FORMAT_VERSION`], which versions the embedded
+/// schedule payload; both are recorded in the header and both must match for
+/// [`PipelineArtifacts::from_bytes`] to load an image.
+pub const PIPELINE_ARTIFACTS_FORMAT_VERSION: u32 = 1;
+
+const ARTIFACT_MAGIC: &[u8; 4] = b"JPAF";
+
+/// Why a serialised [`PipelineArtifacts`] image could not be decoded.
+///
+/// The distinction matters to persistent stores: a [`VersionMismatch`]
+/// entry was written by a different (older or newer) build and is simply
+/// stale — rebuild it, nothing is wrong with the medium — while
+/// [`Malformed`] / [`DigestMismatch`] mean the bytes themselves are not
+/// what was written (truncation, bit rot, torn write) and the entry should
+/// be quarantined for inspection rather than silently deleted.
+///
+/// [`VersionMismatch`]: ArtifactDecodeError::VersionMismatch
+/// [`Malformed`]: ArtifactDecodeError::Malformed
+/// [`DigestMismatch`]: ArtifactDecodeError::DigestMismatch
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactDecodeError {
+    /// The byte stream is truncated or structurally invalid.
+    Malformed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The image was written under a different container or schedule format
+    /// version. Stale, not corrupt: rebuild from the binary.
+    VersionMismatch {
+        /// Which header field mismatched (`"artifact"` or `"schedule"`).
+        kind: &'static str,
+        /// The version this build reads.
+        expected: u32,
+        /// The version found in the image.
+        found: u32,
+    },
+    /// The embedded schedule's recomputed content digest does not match the
+    /// digest recorded in the header — the payload was altered after it was
+    /// written.
+    DigestMismatch {
+        /// Digest recorded in the header at write time.
+        expected: u64,
+        /// Digest recomputed from the embedded schedule bytes.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ArtifactDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactDecodeError::Malformed { reason } => {
+                write!(f, "malformed pipeline-artifact image: {reason}")
+            }
+            ArtifactDecodeError::VersionMismatch {
+                kind,
+                expected,
+                found,
+            } => write!(
+                f,
+                "pipeline-artifact {kind} format version {found} (this build reads {expected})"
+            ),
+            ArtifactDecodeError::DigestMismatch { expected, found } => write!(
+                f,
+                "pipeline-artifact schedule digest {found:#018x} does not match recorded {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactDecodeError {}
+
+impl PipelineArtifacts {
+    /// Serialises the executable subset of the artifacts — digests, sizes,
+    /// loop selection and the rewrite schedule — into a self-describing,
+    /// versioned byte image suitable for a content-addressed disk store.
+    ///
+    /// The header records both [`PIPELINE_ARTIFACTS_FORMAT_VERSION`] and
+    /// [`janus_schedule::SCHEDULE_FORMAT_VERSION`], plus the schedule's own
+    /// content digest; [`PipelineArtifacts::from_bytes`] refuses images
+    /// whose versions differ and detects payloads that no longer hash to
+    /// the recorded digest. The `analysis` and `profile` fields are not
+    /// serialised (see the type-level docs).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let schedule_bytes = self.schedule.to_bytes();
+        let mut out = Vec::with_capacity(64 + schedule_bytes.len());
+        out.extend_from_slice(ARTIFACT_MAGIC);
+        out.extend_from_slice(&PIPELINE_ARTIFACTS_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&janus_schedule::SCHEDULE_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.binary_digest.to_le_bytes());
+        out.extend_from_slice(&self.schedule.content_digest().to_le_bytes());
+        out.extend_from_slice(&self.binary_size.to_le_bytes());
+        out.extend_from_slice(&self.schedule_size.to_le_bytes());
+        let push_ids = |out: &mut Vec<u8>, ids: &[usize]| {
+            out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for &id in ids {
+                out.extend_from_slice(&(id as u64).to_le_bytes());
+            }
+        };
+        push_ids(&mut out, &self.selected_loops);
+        push_ids(&mut out, &self.speculative_loops);
+        out.extend_from_slice(&(schedule_bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(&schedule_bytes);
+        out
+    }
+
+    /// Decodes an image written by [`PipelineArtifacts::to_bytes`].
+    ///
+    /// The returned value has `analysis: None` and `profile: None`; every
+    /// field a serving layer executes from (schedule, digests, loop
+    /// selection) round-trips bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactDecodeError::VersionMismatch`] when the image was written
+    /// under a different container or schedule format version (stale —
+    /// rebuild); [`ArtifactDecodeError::Malformed`] /
+    /// [`ArtifactDecodeError::DigestMismatch`] when the bytes are damaged
+    /// (quarantine).
+    pub fn from_bytes(bytes: &[u8]) -> Result<PipelineArtifacts, ArtifactDecodeError> {
+        let malformed = |reason: &str| ArtifactDecodeError::Malformed {
+            reason: reason.to_string(),
+        };
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], ArtifactDecodeError> {
+            if *pos + n > bytes.len() {
+                return Err(ArtifactDecodeError::Malformed {
+                    reason: "unexpected end of image".to_string(),
+                });
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let take_u32 = |pos: &mut usize| -> Result<u32, ArtifactDecodeError> {
+            Ok(u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()))
+        };
+        let take_u64 = |pos: &mut usize| -> Result<u64, ArtifactDecodeError> {
+            Ok(u64::from_le_bytes(take(pos, 8)?.try_into().unwrap()))
+        };
+
+        if take(&mut pos, 4)? != ARTIFACT_MAGIC {
+            return Err(malformed("bad magic"));
+        }
+        let artifact_version = take_u32(&mut pos)?;
+        if artifact_version != PIPELINE_ARTIFACTS_FORMAT_VERSION {
+            return Err(ArtifactDecodeError::VersionMismatch {
+                kind: "artifact",
+                expected: PIPELINE_ARTIFACTS_FORMAT_VERSION,
+                found: artifact_version,
+            });
+        }
+        let schedule_version = take_u32(&mut pos)?;
+        if schedule_version != janus_schedule::SCHEDULE_FORMAT_VERSION {
+            return Err(ArtifactDecodeError::VersionMismatch {
+                kind: "schedule",
+                expected: janus_schedule::SCHEDULE_FORMAT_VERSION,
+                found: schedule_version,
+            });
+        }
+        let binary_digest = take_u64(&mut pos)?;
+        let schedule_digest = take_u64(&mut pos)?;
+        let binary_size = take_u64(&mut pos)?;
+        let schedule_size = take_u64(&mut pos)?;
+        let take_ids = |pos: &mut usize| -> Result<Vec<usize>, ArtifactDecodeError> {
+            let count = take_u32(pos)? as usize;
+            let mut ids = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                ids.push(take_u64(pos)? as usize);
+            }
+            Ok(ids)
+        };
+        let selected_loops = take_ids(&mut pos)?;
+        let speculative_loops = take_ids(&mut pos)?;
+        let schedule_len = take_u32(&mut pos)? as usize;
+        let schedule_bytes = take(&mut pos, schedule_len)?;
+        if pos != bytes.len() {
+            return Err(malformed("trailing bytes after schedule payload"));
+        }
+        let schedule = RewriteSchedule::from_bytes(schedule_bytes)
+            .map_err(|e| malformed(&format!("embedded schedule: {e}")))?;
+        let found = schedule.content_digest();
+        if found != schedule_digest {
+            return Err(ArtifactDecodeError::DigestMismatch {
+                expected: schedule_digest,
+                found,
+            });
+        }
+        Ok(PipelineArtifacts {
+            binary_digest,
+            analysis: None,
+            profile: None,
+            selected_loops,
+            speculative_loops,
+            schedule,
+            schedule_size,
+            binary_size,
+        })
+    }
 }
 
 /// The result of parallelising and running one binary.
@@ -501,7 +721,7 @@ impl Janus {
             binary_digest: binary.content_digest(),
             schedule_size: schedule.byte_size(),
             binary_size: binary.file_size(),
-            analysis,
+            analysis: Some(analysis),
             profile,
             selected_loops,
             speculative_loops,
@@ -816,6 +1036,54 @@ mod tests {
             again.schedule.content_digest(),
             artifacts.schedule.content_digest()
         );
+    }
+
+    #[test]
+    fn pipeline_artifacts_round_trip_through_bytes() {
+        let bin = Compiler::with_options(CompileOptions::gcc_o2())
+            .compile(&doall_program(1024))
+            .unwrap();
+        let janus = Janus::new();
+        let artifacts = janus.prepare(&bin, &[]).unwrap();
+        let bytes = artifacts.to_bytes();
+        let back = PipelineArtifacts::from_bytes(&bytes).unwrap();
+        assert_eq!(back.binary_digest, artifacts.binary_digest);
+        assert_eq!(back.selected_loops, artifacts.selected_loops);
+        assert_eq!(back.speculative_loops, artifacts.speculative_loops);
+        assert_eq!(back.schedule_size, artifacts.schedule_size);
+        assert_eq!(back.binary_size, artifacts.binary_size);
+        assert_eq!(
+            back.schedule.content_digest(),
+            artifacts.schedule.content_digest()
+        );
+        assert_eq!(back.schedule, artifacts.schedule);
+        assert!(back.analysis.is_none(), "analysis is not persisted");
+        assert!(back.profile.is_none(), "profile is not persisted");
+
+        // Damage is detected, and stale versions are told apart from rot.
+        let mut torn = bytes.clone();
+        torn.truncate(torn.len() - 3);
+        assert!(matches!(
+            PipelineArtifacts::from_bytes(&torn),
+            Err(ArtifactDecodeError::Malformed { .. })
+        ));
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        assert!(matches!(
+            PipelineArtifacts::from_bytes(&flipped),
+            Err(ArtifactDecodeError::Malformed { .. })
+                | Err(ArtifactDecodeError::DigestMismatch { .. })
+        ));
+        let mut stale = bytes;
+        stale[4..8].copy_from_slice(&(PIPELINE_ARTIFACTS_FORMAT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            PipelineArtifacts::from_bytes(&stale),
+            Err(ArtifactDecodeError::VersionMismatch {
+                kind: "artifact",
+                ..
+            })
+        ));
     }
 
     #[test]

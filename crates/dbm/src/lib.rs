@@ -68,6 +68,10 @@
 //! The resulting [`CycleBreakdown`] always carries modelled cycles;
 //! wall-clock measurements live beside it in [`DbmStats`] so virtual-time
 //! figures stay bit-identical regardless of backend availability.
+//!
+//! `docs/ARCHITECTURE.md` at the repository root places this crate in the
+//! whole pipeline and spells out why modelled results are invariant across
+//! the two backends.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -31,6 +31,18 @@
 use std::collections::HashMap;
 use std::fmt;
 
+/// Version of the serialised schedule format produced by
+/// [`RewriteSchedule::to_bytes`] and required by
+/// [`RewriteSchedule::from_bytes`].
+///
+/// The constant exists so *other* serialisation layers can key their own
+/// version headers on it: the persistent artifact store in `janus-serve`
+/// embeds this value in every entry and treats a mismatch as "rebuild, do
+/// not load" — bump it whenever the byte layout below changes and every
+/// stale on-disk schedule is invalidated automatically instead of being
+/// misparsed.
+pub const SCHEDULE_FORMAT_VERSION: u32 = 1;
+
 /// Number of 64-bit data words carried by every rewrite rule.
 pub const RULE_DATA_WORDS: usize = 6;
 
@@ -331,7 +343,7 @@ impl RewriteSchedule {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(32 + self.rules.len() * RULE_SIZE);
         out.extend_from_slice(b"JRWS");
-        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&SCHEDULE_FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&(self.executable.len() as u32).to_le_bytes());
         out.extend_from_slice(self.executable.as_bytes());
         out.extend_from_slice(&self.threads.to_le_bytes());
@@ -370,7 +382,14 @@ impl RewriteSchedule {
         if take(&mut pos, 4)? != b"JRWS" {
             return Err(err("bad magic"));
         }
-        let _version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+        if version != SCHEDULE_FORMAT_VERSION {
+            return Err(ScheduleError::Malformed {
+                reason: format!(
+                    "unsupported schedule format version {version} (this build reads {SCHEDULE_FORMAT_VERSION})"
+                ),
+            });
+        }
         let name_len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
         let executable = String::from_utf8(take(&mut pos, name_len)?.to_vec())
             .map_err(|_| err("executable name is not UTF-8"))?;
@@ -495,6 +514,11 @@ mod tests {
         let mut bytes = RewriteSchedule::new("x").to_bytes();
         bytes[0] = b'Z';
         assert!(RewriteSchedule::from_bytes(&bytes).is_err());
+        // A future (or corrupted) format version is rejected, not misparsed.
+        let mut bytes = RewriteSchedule::new("x").to_bytes();
+        bytes[4..8].copy_from_slice(&(SCHEDULE_FORMAT_VERSION + 1).to_le_bytes());
+        let err = RewriteSchedule::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("format version"));
         let s = {
             let mut s = RewriteSchedule::new("x");
             s.push(RewriteRule::new(0, RuleId::LoopInit));

@@ -1,7 +1,10 @@
 //! The content-addressed artifact cache: binary digest → analysed loops,
 //! rewrite schedule and a prepared DBM, built exactly once per digest under
-//! a per-key build gate and bounded by a per-shard LRU.
+//! a per-key build gate and bounded by a per-shard LRU — optionally layered
+//! over a persistent [`ArtifactStore`] disk tier, probed on every memory
+//! miss before the pipeline is re-run.
 
+use crate::store::ArtifactStore;
 use crate::ServeError;
 use janus_core::{PipelineArtifacts, PreparedDbm};
 use std::collections::HashMap;
@@ -92,9 +95,20 @@ enum Claim {
 /// * **Bounded**: each shard holds at most `ceil(capacity / shards)` ready
 ///   artifacts; inserting beyond that evicts the shard's least-recently-used
 ///   entry. In-progress builds are never evicted.
+/// * **Optionally two-tier**: constructed with
+///   [`ArtifactCache::with_disk_store`], a memory miss probes the
+///   persistent [`ArtifactStore`] first — a disk hit *hydrates* (process
+///   load + schedule decode, no pipeline rebuild) and only a disk miss
+///   runs the build closure, whose result is then persisted. `misses()`
+///   therefore keeps meaning "analyses actually run".
 pub struct ArtifactCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    store: Option<Arc<ArtifactStore>>,
+    /// Pipeline-config fingerprint stamped on (and required of) disk
+    /// entries, so sessions with different configurations sharing one
+    /// store directory never serve each other's schedules.
+    fingerprint: u64,
     hits: AtomicU64,
     misses: AtomicU64,
     inflight_waits: AtomicU64,
@@ -130,11 +144,36 @@ impl ArtifactCache {
         ArtifactCache {
             shards: (0..shards).map(|_| Mutex::default()).collect(),
             capacity_per_shard,
+            store: None,
+            fingerprint: 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inflight_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// A two-tier cache: the in-memory tier of [`ArtifactCache::with_shards`]
+    /// layered over the persistent `store`. `fingerprint` identifies the
+    /// session's pipeline configuration; only disk entries written under the
+    /// same fingerprint are loaded (see [`ArtifactStore::load`]).
+    #[must_use]
+    pub fn with_disk_store(
+        capacity: usize,
+        shards: usize,
+        store: Arc<ArtifactStore>,
+        fingerprint: u64,
+    ) -> ArtifactCache {
+        let mut cache = ArtifactCache::with_shards(capacity, shards);
+        cache.store = Some(store);
+        cache.fingerprint = fingerprint;
+        cache
+    }
+
+    /// The persistent disk tier, when one is configured.
+    #[must_use]
+    pub fn disk_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_deref()
     }
 
     fn shard(&self, digest: u64) -> &Mutex<Shard> {
@@ -144,24 +183,35 @@ impl ArtifactCache {
         &self.shards[(mixed % self.shards.len() as u64) as usize]
     }
 
-    /// Returns the artifact for `digest`, building it with `build` if (and
-    /// only if) no ready artifact and no in-progress build exists. Safe to
-    /// call concurrently from any number of threads: one build per digest,
-    /// everyone shares the result. A failed build is not cached — the error
-    /// is delivered to the builder and every waiter, and the next submission
-    /// retries.
+    /// Returns the artifact for `digest`. A memory miss elects this call
+    /// the builder: it first probes the disk store (when configured) and
+    /// *hydrates* a persisted pipeline through `hydrate` — no analysis —
+    /// and only on a disk miss runs `build`, the full pipeline, persisting
+    /// the result for future processes. Safe to call concurrently from any
+    /// number of threads: one build per digest, everyone shares the result.
+    /// A failed build is not cached — the error is delivered to the builder
+    /// and every waiter, and the next submission retries.
+    ///
+    /// `misses()` counts only `build` runs (analyses actually executed);
+    /// disk hits are counted by the store.
     ///
     /// # Errors
     ///
-    /// Propagates the builder's error (shared verbatim with concurrent
-    /// waiters of the same build).
+    /// Propagates the builder's (or hydrator's) error, shared verbatim with
+    /// concurrent waiters of the same build.
     ///
     /// # Panics
     ///
     /// Panics if a previous builder panicked while holding the gate
     /// (poisoned internal lock).
-    pub fn get_or_build<F>(&self, digest: u64, build: F) -> Result<Arc<Artifact>, ServeError>
+    pub fn get_or_build<H, F>(
+        &self,
+        digest: u64,
+        hydrate: H,
+        build: F,
+    ) -> Result<Arc<Artifact>, ServeError>
     where
+        H: FnOnce(PipelineArtifacts) -> Result<Artifact, ServeError>,
         F: FnOnce() -> Result<Artifact, ServeError>,
     {
         let claim = {
@@ -199,10 +249,25 @@ impl ArtifactCache {
                 result.clone().expect("checked above")
             }
             Claim::Build(gate) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                // The expensive part — analysis, profiling, schedule
-                // generation, process load — runs with no lock held.
-                let built = build().map(Arc::new);
+                // The expensive part — disk probe and hydration, or
+                // analysis, profiling, schedule generation and process
+                // load — runs with no lock held.
+                let disk = self
+                    .store
+                    .as_ref()
+                    .and_then(|store| store.load(digest, self.fingerprint));
+                let built = match disk {
+                    Some(pipeline) => hydrate(pipeline),
+                    None => {
+                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        let built = build();
+                        if let (Ok(artifact), Some(store)) = (&built, &self.store) {
+                            store.store(&artifact.pipeline, self.fingerprint);
+                        }
+                        built
+                    }
+                }
+                .map(Arc::new);
                 {
                     let mut shard = self.shard(digest).lock().expect("cache shard poisoned");
                     match &built {
@@ -299,6 +364,12 @@ mod tests {
     use janus_vm::Process;
     use std::sync::atomic::AtomicUsize;
 
+    /// Hydrate closure for storeless caches: the disk tier is absent, so
+    /// the cache can never call it.
+    fn no_hydrate(_: PipelineArtifacts) -> Result<Artifact, ServeError> {
+        unreachable!("no disk store configured")
+    }
+
     /// A tiny real artifact (the cache stores whatever the builder returns;
     /// these tests only need distinct digests, so one shared pipeline result
     /// rebadged per key is enough).
@@ -325,7 +396,7 @@ mod tests {
         let builds = AtomicUsize::new(0);
         for _ in 0..3 {
             let artifact = cache
-                .get_or_build(42, || {
+                .get_or_build(42, no_hydrate, || {
                     builds.fetch_add(1, Ordering::SeqCst);
                     Ok(test_artifact(42))
                 })
@@ -346,7 +417,7 @@ mod tests {
             for _ in 0..8 {
                 scope.spawn(|| {
                     let artifact = cache
-                        .get_or_build(7, || {
+                        .get_or_build(7, no_hydrate, || {
                             builds.fetch_add(1, Ordering::SeqCst);
                             // Widen the race window so waiters actually pile
                             // onto the gate.
@@ -372,18 +443,18 @@ mod tests {
             let _ = build_count.fetch_add(1, Ordering::SeqCst);
             Ok(test_artifact(digest))
         };
-        cache.get_or_build(1, || build(1)).unwrap();
-        cache.get_or_build(2, || build(2)).unwrap();
+        cache.get_or_build(1, no_hydrate, || build(1)).unwrap();
+        cache.get_or_build(2, no_hydrate, || build(2)).unwrap();
         // Touch 1 so 2 becomes the LRU victim when 3 arrives.
-        cache.get_or_build(1, || build(1)).unwrap();
-        cache.get_or_build(3, || build(3)).unwrap();
+        cache.get_or_build(1, no_hydrate, || build(1)).unwrap();
+        cache.get_or_build(3, no_hydrate, || build(3)).unwrap();
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.evictions(), 1);
         // 1 and 3 are resident, 2 was evicted and rebuilds.
-        cache.get_or_build(1, || build(1)).unwrap();
-        cache.get_or_build(3, || build(3)).unwrap();
+        cache.get_or_build(1, no_hydrate, || build(1)).unwrap();
+        cache.get_or_build(3, no_hydrate, || build(3)).unwrap();
         assert_eq!(build_count.load(Ordering::SeqCst), 3, "1 and 3 still hot");
-        cache.get_or_build(2, || build(2)).unwrap();
+        cache.get_or_build(2, no_hydrate, || build(2)).unwrap();
         assert_eq!(build_count.load(Ordering::SeqCst), 4, "2 was evicted");
         assert_eq!(cache.evictions(), 2, "rebuilding 2 evicted the next LRU");
     }
@@ -392,7 +463,7 @@ mod tests {
     fn build_failures_are_shared_but_not_cached() {
         let cache = ArtifactCache::new(8);
         let err = cache
-            .get_or_build(9, || {
+            .get_or_build(9, no_hydrate, || {
                 Err(ServeError::Build {
                     digest: 9,
                     reason: "no loops".into(),
@@ -402,8 +473,74 @@ mod tests {
         assert!(matches!(err, ServeError::Build { digest: 9, .. }));
         assert!(cache.is_empty(), "failures are not cached");
         // The next submission retries and can succeed.
-        let artifact = cache.get_or_build(9, || Ok(test_artifact(9))).unwrap();
+        let artifact = cache
+            .get_or_build(9, no_hydrate, || Ok(test_artifact(9)))
+            .unwrap();
         assert_eq!(artifact.digest, 9);
         assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn disk_tier_hydrates_without_rebuilding() {
+        use janus_ir::{AsmBuilder, Inst};
+        let dir =
+            std::env::temp_dir().join(format!("janus-cache-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut asm = AsmBuilder::new();
+        asm.label("main");
+        asm.push(Inst::Halt);
+        let binary = asm.finish_binary("main").unwrap();
+        let digest = binary.content_digest();
+        let janus = Janus::new();
+        let hydrate = |pipeline: PipelineArtifacts| {
+            let prepared = PreparedDbm::new(
+                Process::load(&binary).unwrap(),
+                &pipeline.schedule,
+                janus.dbm_config(),
+            );
+            Ok(Artifact::new(pipeline, prepared))
+        };
+        let store = Arc::new(ArtifactStore::open(&dir, 0).unwrap());
+
+        // Cold session: disk miss, one analysis, entry persisted.
+        let cold = ArtifactCache::with_disk_store(8, 1, store.clone(), 5);
+        cold.get_or_build(digest, hydrate, || {
+            let pipeline = janus.prepare(&binary, &[]).unwrap();
+            let prepared = PreparedDbm::new(
+                Process::load(&binary).unwrap(),
+                &pipeline.schedule,
+                janus.dbm_config(),
+            );
+            Ok(Artifact::new(pipeline, prepared))
+        })
+        .unwrap();
+        assert_eq!(cold.misses(), 1);
+        assert_eq!(store.hits(), 0);
+        assert_eq!(store.entries(), 1, "built artifact was persisted");
+
+        // Warm session over the same store: hydrated from disk, no build.
+        let warm = ArtifactCache::with_disk_store(8, 1, store.clone(), 5);
+        let artifact = warm
+            .get_or_build(digest, hydrate, || unreachable!("must hydrate from disk"))
+            .unwrap();
+        assert_eq!(artifact.digest, digest);
+        assert_eq!(warm.misses(), 0, "no analysis ran");
+        assert_eq!(store.hits(), 1);
+
+        // A different fingerprint does not see the entry and rebuilds.
+        let other = ArtifactCache::with_disk_store(8, 1, store.clone(), 6);
+        other
+            .get_or_build(digest, hydrate, || {
+                let pipeline = janus.prepare(&binary, &[]).unwrap();
+                let prepared = PreparedDbm::new(
+                    Process::load(&binary).unwrap(),
+                    &pipeline.schedule,
+                    janus.dbm_config(),
+                );
+                Ok(Artifact::new(pipeline, prepared))
+            })
+            .unwrap();
+        assert_eq!(other.misses(), 1, "foreign fingerprint is a disk miss");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,24 +1,190 @@
-//! The bounded job executor: a pool of OS worker threads draining a
-//! submission queue, resolving artifacts through the [`ArtifactCache`] and
-//! executing jobs via the cached [`PreparedDbm`](janus_core::PreparedDbm).
+//! The bounded, fair job executor: a pool of OS worker threads draining
+//! per-tenant submission queues under deficit-round-robin scheduling,
+//! resolving artifacts through the two-tier [`ArtifactCache`] and executing
+//! jobs via the cached [`PreparedDbm`](janus_core::PreparedDbm).
 
 use crate::cache::{Artifact, ArtifactCache};
-use crate::{JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats};
-use janus_core::{Janus, PreparedDbm};
+use crate::store::ArtifactStore;
+use crate::{
+    JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats, DEFAULT_TENANT,
+};
+use janus_core::{Janus, PipelineArtifacts, PreparedDbm};
 use janus_vm::Process;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// The submission queue and result store, guarded by one mutex.
+/// Token granularity of the fair scheduler: 1 token ≈ 1 ms of estimated
+/// service time (jobs with no estimate cost 1 token).
+const NANOS_PER_TOKEN: u64 = 1_000_000;
+
+/// One admitted-but-unstarted job, with the cost attributed to it at
+/// admission time.
+struct PendingJob {
+    id: JobId,
+    job: JobSpec,
+    /// Deficit tokens the tenant pays to start this job.
+    cost_tokens: u64,
+    /// Service-time estimate at admission (0 when the model had none);
+    /// tracked so the queue's aggregate backlog estimate stays consistent
+    /// when the job leaves the queue.
+    est_nanos: u64,
+}
+
+/// One tenant's FIFO backlog plus its deficit-round-robin account.
+struct TenantQueue {
+    queue: VecDeque<PendingJob>,
+    /// Accumulated tokens; a job starts only when the deficit covers its
+    /// cost. Reset when the backlog empties (an idle tenant banks nothing).
+    deficit: u64,
+    /// Tokens granted per scheduler round ([`crate::TenantQuota::quantum`]).
+    quantum: u64,
+}
+
+/// The submission queues and result store, guarded by one mutex.
 #[derive(Default)]
 struct QueueState {
-    pending: VecDeque<(JobId, JobSpec)>,
+    /// Per-tenant backlogs, keyed by tenant name.
+    tenants: HashMap<Arc<str>, TenantQueue>,
+    /// Round-robin ring of tenants with a non-empty backlog (each appears
+    /// exactly once; the front tenant is visited next).
+    ring: VecDeque<Arc<str>>,
+    /// Total queued jobs across all tenants.
+    pending_total: usize,
+    /// Sum of the queued jobs' service-time estimates (deadline admission's
+    /// backlog term).
+    pending_est_nanos: u64,
     running: usize,
     next_id: u64,
+    /// Dequeue counter; stamped onto [`JobReport::sequence`].
+    dequeue_seq: u64,
     finished: BTreeMap<u64, Result<JobReport, ServeError>>,
+}
+
+impl QueueState {
+    /// Pops the next job under deficit round robin: visit the front tenant
+    /// of the ring, grant its quantum until the deficit covers the head
+    /// job's cost (rotating between grants so other tenants are served in
+    /// between), then charge the deficit and hand the job out. Returns the
+    /// job and its dequeue sequence number.
+    fn pop_next(&mut self) -> Option<(JobId, JobSpec, u64)> {
+        if self.pending_total == 0 {
+            return None;
+        }
+        loop {
+            let tenant = self.ring.front()?.clone();
+            let tq = self.tenants.get_mut(&tenant).expect("ring tenant exists");
+            if tq.queue.is_empty() {
+                tq.deficit = 0;
+                self.ring.pop_front();
+                continue;
+            }
+            let head_cost = tq.queue.front().expect("non-empty queue").cost_tokens;
+            if tq.deficit < head_cost {
+                tq.deficit += tq.quantum;
+                self.ring.rotate_left(1);
+                continue;
+            }
+            tq.deficit -= head_cost;
+            let pending = tq.queue.pop_front().expect("non-empty queue");
+            if tq.queue.is_empty() {
+                // Leave the ring (and bank nothing): the tenant re-enters
+                // at the back on its next submission.
+                tq.deficit = 0;
+                self.ring.pop_front();
+            } else {
+                // One job per visit: rotate so equal-cost tenants
+                // interleave instead of bursting a whole quantum.
+                self.ring.rotate_left(1);
+            }
+            self.pending_total -= 1;
+            self.pending_est_nanos = self.pending_est_nanos.saturating_sub(pending.est_nanos);
+            let sequence = self.dequeue_seq;
+            self.dequeue_seq += 1;
+            return Some((pending.id, pending.job, sequence));
+        }
+    }
+}
+
+/// Per-binary (and global) EWMA of observed service times, feeding both the
+/// fair scheduler's token costs and deadline admission.
+#[derive(Default)]
+struct CostModel {
+    state: Mutex<CostState>,
+}
+
+#[derive(Default)]
+struct CostState {
+    per_digest: HashMap<u64, f64>,
+    global: f64,
+    observations: u64,
+}
+
+impl CostModel {
+    /// EWMA smoothing factor: recent runs dominate after a few samples but
+    /// one outlier cannot swing the estimate.
+    const ALPHA: f64 = 0.3;
+
+    fn observe(&self, digest: u64, nanos: u64) {
+        let mut state = self.state.lock().expect("cost model poisoned");
+        let sample = nanos as f64;
+        match state.per_digest.get_mut(&digest) {
+            Some(ewma) => *ewma = *ewma * (1.0 - Self::ALPHA) + sample * Self::ALPHA,
+            None => {
+                state.per_digest.insert(digest, sample);
+            }
+        }
+        state.global = if state.observations == 0 {
+            sample
+        } else {
+            state.global * (1.0 - Self::ALPHA) + sample * Self::ALPHA
+        };
+        state.observations += 1;
+    }
+
+    /// The service-time estimate for `digest`: its own EWMA, falling back
+    /// to the global EWMA, or `None` before any job has completed — the
+    /// model never guesses without evidence.
+    fn estimate(&self, digest: u64) -> Option<u64> {
+        let state = self.state.lock().expect("cost model poisoned");
+        if state.observations == 0 {
+            return None;
+        }
+        Some(
+            state
+                .per_digest
+                .get(&digest)
+                .copied()
+                .unwrap_or(state.global) as u64,
+        )
+    }
+}
+
+/// Fingerprint of the pipeline configuration that shapes an artifact:
+/// everything [`Janus::prepare`] consults when turning a binary into a
+/// schedule (optimisation mode, thread count, speculation, coverage
+/// threshold, training input). Disk entries are stamped with it so
+/// sessions configured differently can share one store directory without
+/// serving each other's schedules; the serialisation format versions are
+/// enforced separately by the payload's own header.
+fn config_fingerprint(janus: &Janus, train_input: &[i64]) -> u64 {
+    fn mix(hash: u64, bytes: &[u8]) -> u64 {
+        bytes.iter().fold(hash, |hash, &b| {
+            (hash ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+    let config = janus.config();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    hash = mix(hash, &(config.mode as u32).to_le_bytes());
+    hash = mix(hash, &config.threads.to_le_bytes());
+    hash = mix(hash, &[u8::from(config.speculation)]);
+    hash = mix(hash, &config.coverage_threshold.to_bits().to_le_bytes());
+    for value in train_input {
+        hash = mix(hash, &value.to_le_bytes());
+    }
+    hash
 }
 
 /// State shared between the handle and the worker threads.
@@ -26,6 +192,7 @@ struct Shared {
     janus: Janus,
     config: ServeConfig,
     cache: ArtifactCache,
+    cost_model: CostModel,
     state: Mutex<QueueState>,
     /// Wakes workers when a job is queued (or shutdown begins).
     work_ready: Condvar,
@@ -36,6 +203,8 @@ struct Shared {
     jobs_completed: AtomicU64,
     jobs_failed: AtomicU64,
     jobs_rejected: AtomicU64,
+    jobs_deadline_rejected: AtomicU64,
+    jobs_quota_rejected: AtomicU64,
     max_in_flight_seen: AtomicU64,
 }
 
@@ -63,16 +232,32 @@ impl std::fmt::Debug for ServeHandle {
 }
 
 impl ServeHandle {
-    /// Starts a session: allocates the artifact cache and spawns the worker
-    /// pool.
-    #[must_use]
-    pub(crate) fn start(janus: Janus, config: ServeConfig) -> ServeHandle {
-        let cache = ArtifactCache::with_shards(config.cache_capacity, config.cache_shards);
+    /// Starts a session: opens the persistent store when configured,
+    /// allocates the artifact cache and spawns the worker pool.
+    pub(crate) fn start(janus: Janus, config: ServeConfig) -> Result<ServeHandle, ServeError> {
+        let fingerprint = config_fingerprint(&janus, &config.train_input);
+        let cache = match &config.store_dir {
+            Some(dir) => {
+                let store = ArtifactStore::open(dir, config.store_max_bytes).map_err(|e| {
+                    ServeError::Store {
+                        reason: format!("{}: {e}", dir.display()),
+                    }
+                })?;
+                ArtifactCache::with_disk_store(
+                    config.cache_capacity,
+                    config.cache_shards,
+                    Arc::new(store),
+                    fingerprint,
+                )
+            }
+            None => ArtifactCache::with_shards(config.cache_capacity, config.cache_shards),
+        };
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             janus,
             config,
             cache,
+            cost_model: CostModel::default(),
             state: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
@@ -81,6 +266,8 @@ impl ServeHandle {
             jobs_completed: AtomicU64::new(0),
             jobs_failed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
+            jobs_deadline_rejected: AtomicU64::new(0),
+            jobs_quota_rejected: AtomicU64::new(0),
             max_in_flight_seen: AtomicU64::new(0),
         });
         let workers = (0..workers)
@@ -92,32 +279,90 @@ impl ServeHandle {
                     .expect("spawn serving worker")
             })
             .collect();
-        ServeHandle { shared, workers }
+        Ok(ServeHandle { shared, workers })
     }
 
-    /// Submits one job. Admission control applies: a full pending queue (or
-    /// in-flight cap) rejects with [`ServeError::Saturated`] instead of
-    /// queueing unboundedly — back off and resubmit.
+    /// Submits one job. Admission control applies, in order: a full pending
+    /// queue (or in-flight cap) rejects with [`ServeError::Saturated`]; a
+    /// tenant over its [`TenantQuota::max_pending`](crate::TenantQuota::max_pending)
+    /// rejects with [`ServeError::TenantSaturated`]; a
+    /// [`deadline`](JobSpec::deadline) the cost model's evidence says cannot
+    /// be met rejects with [`ServeError::DeadlineUnmeetable`]. Rejections
+    /// are fail-fast — back off and resubmit.
     ///
     /// # Errors
     ///
-    /// [`ServeError::Saturated`] when admission control rejects the job,
+    /// [`ServeError::Saturated`] / [`ServeError::TenantSaturated`] /
+    /// [`ServeError::DeadlineUnmeetable`] as above, and
     /// [`ServeError::ShuttingDown`] after [`ServeHandle::shutdown`] began.
     pub fn submit(&self, job: JobSpec) -> Result<JobId, ServeError> {
         let shared = &self.shared;
         if shared.stop.load(Ordering::SeqCst) {
             return Err(ServeError::ShuttingDown);
         }
+        let tenant_name: Arc<str> = job.tenant.as_deref().unwrap_or(DEFAULT_TENANT).into();
+        let quota = shared.config.quota_for(&tenant_name);
+        let estimate = shared.cost_model.estimate(job.binary_digest);
+
         let mut state = shared.state.lock().expect("serve queue poisoned");
-        let in_flight = state.pending.len() + state.running;
+        let in_flight = state.pending_total + state.running;
         let limit = shared.config.effective_max_in_flight();
-        if state.pending.len() >= shared.config.queue_depth || in_flight >= limit {
+        if state.pending_total >= shared.config.queue_depth || in_flight >= limit {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Saturated { in_flight, limit });
         }
+        let tenant_pending = state.tenants.get(&tenant_name).map_or(0, |t| t.queue.len());
+        if quota.max_pending > 0 && tenant_pending >= quota.max_pending {
+            shared.jobs_quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::TenantSaturated {
+                tenant: tenant_name.to_string(),
+                pending: tenant_pending,
+                limit: quota.max_pending,
+            });
+        }
+        if let (Some(deadline), Some(own_nanos)) = (job.deadline, estimate) {
+            // Optimistic ETA: this job's own estimated service time plus
+            // the queued backlog spread over the worker pool. Reject only
+            // when even that optimistic bound blows the budget.
+            let workers = shared.config.workers.max(1) as u64;
+            let estimated_nanos = own_nanos + state.pending_est_nanos / workers;
+            let budget_nanos = u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX);
+            if estimated_nanos > budget_nanos {
+                shared
+                    .jobs_deadline_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::DeadlineUnmeetable {
+                    estimated_nanos,
+                    budget_nanos,
+                });
+            }
+        }
+
         let id = JobId(state.next_id);
         state.next_id += 1;
-        state.pending.push_back((id, job));
+        let est_nanos = estimate.unwrap_or(0);
+        let cost_tokens = (est_nanos / NANOS_PER_TOKEN).max(1);
+        let tenant_queue =
+            state
+                .tenants
+                .entry(tenant_name.clone())
+                .or_insert_with(|| TenantQueue {
+                    queue: VecDeque::new(),
+                    deficit: 0,
+                    quantum: quota.quantum.max(1),
+                });
+        let was_empty = tenant_queue.queue.is_empty();
+        tenant_queue.queue.push_back(PendingJob {
+            id,
+            job,
+            cost_tokens,
+            est_nanos,
+        });
+        if was_empty {
+            state.ring.push_back(tenant_name);
+        }
+        state.pending_total += 1;
+        state.pending_est_nanos += est_nanos;
         shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
         shared
             .max_in_flight_seen
@@ -156,7 +401,7 @@ impl ServeHandle {
     pub fn join(&self) -> Vec<JobOutcome> {
         let shared = &self.shared;
         let mut state = shared.state.lock().expect("serve queue poisoned");
-        while state.running > 0 || !state.pending.is_empty() {
+        while state.running > 0 || state.pending_total > 0 {
             state = shared.job_done.wait(state).expect("serve queue poisoned");
         }
         std::mem::take(&mut state.finished)
@@ -166,24 +411,34 @@ impl ServeHandle {
     }
 
     /// Snapshots the session's counters: cache hit/miss/in-flight/eviction,
-    /// job admission and completion, and the in-flight high-water mark.
+    /// disk-store traffic, job admission and completion, and the in-flight
+    /// high-water mark.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
         let shared = &self.shared;
         let (pending, running) = {
             let state = shared.state.lock().expect("serve queue poisoned");
-            (state.pending.len() as u64, state.running as u64)
+            (state.pending_total as u64, state.running as u64)
         };
+        let disk = shared.cache.disk_store();
+        let disk_stat = |get: fn(&ArtifactStore) -> u64| disk.map_or(0, get);
         ServeStats {
             cache_hits: shared.cache.hits(),
             cache_misses: shared.cache.misses(),
             cache_inflight_waits: shared.cache.inflight_waits(),
             cache_evictions: shared.cache.evictions(),
             cache_entries: shared.cache.len() as u64,
+            disk_hits: disk_stat(ArtifactStore::hits),
+            disk_misses: disk_stat(ArtifactStore::misses),
+            disk_corrupt: disk_stat(ArtifactStore::corrupt),
+            disk_evicted_bytes: disk_stat(ArtifactStore::evicted_bytes),
+            disk_entries: disk.map_or(0, |s| s.entries() as u64),
             jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
             jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
             jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
+            jobs_deadline_rejected: shared.jobs_deadline_rejected.load(Ordering::Relaxed),
+            jobs_quota_rejected: shared.jobs_quota_rejected.load(Ordering::Relaxed),
             jobs_pending: pending,
             jobs_running: running,
             max_in_flight_seen: shared.max_in_flight_seen.load(Ordering::Relaxed),
@@ -214,10 +469,11 @@ impl Drop for ServeHandle {
     }
 }
 
-/// One worker: pop a job, resolve its artifact, execute, publish the result.
+/// One worker: pop the fair scheduler's next job, resolve its artifact,
+/// execute, publish the result and feed the cost model.
 fn worker_loop(shared: &Shared) {
     loop {
-        let (id, job) = {
+        let (id, job, sequence) = {
             let mut state = shared.state.lock().expect("serve queue poisoned");
             loop {
                 // Stop is checked before popping so shutdown abandons
@@ -227,14 +483,14 @@ fn worker_loop(shared: &Shared) {
                 if shared.stop.load(Ordering::SeqCst) {
                     return;
                 }
-                if let Some(next) = state.pending.pop_front() {
+                if let Some(next) = state.pop_next() {
                     state.running += 1;
                     break next;
                 }
                 state = shared.work_ready.wait(state).expect("serve queue poisoned");
             }
         };
-        let result = run_job(shared, id, &job);
+        let result = run_job(shared, id, &job, sequence);
         if result.is_err() {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
         }
@@ -248,15 +504,29 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Resolves the job's artifact through the cache (building it — exactly
-/// once per digest — on first sight) and executes the job against it with
+/// Resolves the job's artifact through the two-tier cache — hydrating a
+/// persisted pipeline on a disk hit, running the full pipeline (exactly
+/// once per digest) on a disk miss — and executes the job against it with
 /// the session configuration plus per-job overrides.
-fn run_job(shared: &Shared, id: JobId, job: &JobSpec) -> Result<JobReport, ServeError> {
+fn run_job(
+    shared: &Shared,
+    id: JobId,
+    job: &JobSpec,
+    sequence: u64,
+) -> Result<JobReport, ServeError> {
     let digest = job.binary_digest;
     // The job clock covers artifact resolution too, so first-submission
     // build latency (and gate waits) show up in the wall-time distribution.
     let start = Instant::now();
-    let artifact = shared.cache.get_or_build(digest, || {
+    let hydrate = |pipeline: PipelineArtifacts| {
+        let process = Process::load(&job.binary).map_err(|e| ServeError::Build {
+            digest,
+            reason: e.to_string(),
+        })?;
+        let prepared = PreparedDbm::new(process, &pipeline.schedule, shared.janus.dbm_config());
+        Ok(Artifact::new(pipeline, prepared))
+    };
+    let artifact = shared.cache.get_or_build(digest, hydrate, || {
         let pipeline = shared
             .janus
             .prepare(&job.binary, &shared.config.train_input)
@@ -287,8 +557,15 @@ fn run_job(shared: &Shared, id: JobId, job: &JobSpec) -> Result<JobReport, Serve
         .prepared
         .execute_with(&job.input, config)
         .map_err(ServeError::Execution)?;
+    let wall_nanos = start.elapsed().as_nanos() as u64;
+    shared.cost_model.observe(digest, wall_nanos);
     Ok(JobReport {
         id,
+        tenant: job
+            .tenant
+            .clone()
+            .unwrap_or_else(|| DEFAULT_TENANT.to_string()),
+        sequence,
         binary_digest: digest,
         schedule_digest: artifact.schedule_digest,
         backend: config.backend,
@@ -299,6 +576,6 @@ fn run_job(shared: &Shared, id: JobId, job: &JobSpec) -> Result<JobReport, Serve
         output_floats: run.output_floats,
         memory_digest: run.memory_digest,
         stats: run.stats,
-        wall_nanos: start.elapsed().as_nanos() as u64,
+        wall_nanos,
     })
 }

@@ -12,6 +12,10 @@
 //!
 //! ## Architecture
 //!
+//! (The cross-crate picture — how the serving layer sits on top of the
+//! pipeline, the two execution backends and the artifact lifecycle — is
+//! drawn end-to-end in `docs/ARCHITECTURE.md` at the repository root.)
+//!
 //! * [`ArtifactCache`] — a **sharded, content-addressed store** mapping
 //!   [`JBinary::content_digest`] to the binary's derived artifacts: the
 //!   static analysis, the optional profile, the selected loops, the
@@ -23,13 +27,28 @@
 //!   as `cache_inflight_waits`, not as extra builds). Entries are bounded by
 //!   a per-shard LRU; hit/miss/in-flight/eviction counters surface in
 //!   [`ServeStats`].
-//! * [`ServeHandle`] — a **bounded job executor**: a pool of OS worker
-//!   threads drains a submission queue, resolves each job's artifact through
-//!   the cache and runs it via [`PreparedDbm::execute_with`](janus_core::PreparedDbm::execute_with)
+//! * [`ArtifactStore`] — the **persistent disk tier** under the in-memory
+//!   cache ([`ServeConfig::store_dir`]): serialised artifacts under
+//!   digest-named files, written via temp-file + atomic rename so crashes
+//!   and concurrent processes never observe torn entries. A cache miss
+//!   probes the store before analysing; a store hit hydrates the in-memory
+//!   entry with **zero pipeline rebuilds**, so a restarted session — or a
+//!   second process sharing the directory — warm-starts. Corrupt entries
+//!   are quarantined and rebuilt, never trusted (see the [`store`
+//!   module](store) docs for the format and crash-safety argument).
+//! * [`ServeHandle`] — a **bounded, fair job executor**: a pool of OS
+//!   worker threads drains per-tenant submission queues under
+//!   deficit-round-robin scheduling (token quotas per tenant, so a
+//!   saturating tenant cannot starve a light one), resolves each job's
+//!   artifact through the cache and runs it via
+//!   [`PreparedDbm::execute_with`](janus_core::PreparedDbm::execute_with)
 //!   (fresh guest memory per run, so concurrent jobs never observe each
-//!   other). Admission control caps the pending queue depth and the total
-//!   number of in-flight jobs; saturated submissions fail fast with the
-//!   typed [`ServeError::Saturated`] instead of queueing unboundedly.
+//!   other). Admission control caps the pending queue depth, the total
+//!   number of in-flight jobs and each tenant's backlog, and rejects jobs
+//!   whose latency budget provably cannot be met
+//!   ([`ServeError::DeadlineUnmeetable`], judged against queue occupancy
+//!   and a cost model fed by completed runs) — saturated submissions fail
+//!   fast with typed errors instead of queueing unboundedly.
 //! * [`ServeSession`] — the session API on the `janus` facade:
 //!   `janus.serve(ServeConfig)` returns a [`ServeHandle`] with
 //!   [`submit`](ServeHandle::submit) / [`submit_batch`](ServeHandle::submit_batch)
@@ -53,7 +72,12 @@
 //!    guest image and per-job backend/thread overrides.
 //! 4. When the cache exceeds its capacity bound, the least-recently-used
 //!    artifact of the over-full shard is evicted; resubmitting that binary
-//!    simply rebuilds it (a new miss).
+//!    reloads it from the disk store when one is configured (a disk hit,
+//!    no re-analysis) and rebuilds it otherwise (a new miss).
+//! 5. With [`ServeConfig::store_dir`] set, every built artifact is also
+//!    persisted: the serialised [`PipelineArtifacts`](janus_core::PipelineArtifacts)
+//!    lands in the store under the binary digest, tagged with a fingerprint
+//!    of the pipeline configuration, and outlives the process.
 //!
 //! Guest results are independent of all of this: a job's outputs and final
 //! memory digest are identical whether it ran through the serving layer, on
@@ -106,15 +130,19 @@
 
 mod cache;
 mod executor;
+pub mod store;
 
 pub use cache::{Artifact, ArtifactCache};
 pub use executor::ServeHandle;
+pub use store::{ArtifactStore, STORE_FORMAT_VERSION};
 
 use janus_core::{BackendKind, Janus, SpecCommitMode};
 use janus_dbm::DbmError;
 use janus_ir::JBinary;
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Configuration of one serving session ([`ServeSession::serve`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -138,6 +166,21 @@ pub struct ServeConfig {
     /// newly seen binary. One fixed input per session keeps artifacts a pure
     /// function of the binary digest.
     pub train_input: Vec<i64>,
+    /// Directory of the persistent [`ArtifactStore`]. `None` (the default)
+    /// serves from memory only; `Some(dir)` opens (creating if needed) a
+    /// disk store there, warm-starts from its existing entries, and
+    /// persists every artifact this session builds. Any number of
+    /// sessions — in this process or others — may share one directory.
+    pub store_dir: Option<PathBuf>,
+    /// Byte budget of the disk store; least-recently-used entries are
+    /// evicted past it. `0` (the default) means unbounded.
+    pub store_max_bytes: u64,
+    /// Quota applied to tenants without an entry in `tenant_quotas`
+    /// (including the implicit `"default"` tenant of jobs that set none).
+    pub default_quota: TenantQuota,
+    /// Per-tenant quota overrides, matched by the tenant name carried in
+    /// [`JobSpec::tenant`].
+    pub tenant_quotas: Vec<(String, TenantQuota)>,
 }
 
 impl Default for ServeConfig {
@@ -149,6 +192,10 @@ impl Default for ServeConfig {
             cache_capacity: 64,
             cache_shards: 8,
             train_input: Vec::new(),
+            store_dir: None,
+            store_max_bytes: 0,
+            default_quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
         }
     }
 }
@@ -164,7 +211,52 @@ impl ServeConfig {
             self.max_in_flight
         }
     }
+
+    /// The quota governing `tenant`: its `tenant_quotas` entry, falling
+    /// back to `default_quota`.
+    #[must_use]
+    pub fn quota_for(&self, tenant: &str) -> TenantQuota {
+        self.tenant_quotas
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, quota)| *quota)
+            .unwrap_or(self.default_quota)
+    }
 }
+
+/// Fair-scheduling quota of one tenant.
+///
+/// The executor keeps one FIFO queue per tenant and serves them with
+/// **deficit round robin**: each visit of the scheduler grants the tenant
+/// `quantum` tokens of deficit, and a job is started only when the
+/// tenant's accumulated deficit covers the job's token cost (1 token ≈ 1
+/// millisecond of estimated service time, from the session's cost model;
+/// unseen binaries cost 1 token). Over time every backlogged tenant's
+/// share of served work is proportional to its quantum, so a tenant
+/// flooding the queue cannot starve a light one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Deficit tokens granted per scheduler round. Relative values set the
+    /// tenants' long-run service shares; the default is 100 (≈ 100 ms of
+    /// estimated service per round).
+    pub quantum: u64,
+    /// Per-tenant pending-queue cap; submissions beyond it are rejected
+    /// with [`ServeError::TenantSaturated`]. `0` (the default) means no
+    /// per-tenant cap — only the session-wide `queue_depth` applies.
+    pub max_pending: usize,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            quantum: 100,
+            max_pending: 0,
+        }
+    }
+}
+
+/// Tenant name used for jobs that do not set [`JobSpec::tenant`].
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Errors raised by the serving layer.
 ///
@@ -193,6 +285,36 @@ pub enum ServeError {
     Execution(DbmError),
     /// The session is shutting down; no further submissions are accepted.
     ShuttingDown,
+    /// Admission control rejected the submission because its latency
+    /// budget ([`JobSpec::deadline`]) provably cannot be met: the cost
+    /// model's service-time estimate for this binary, plus the current
+    /// backlog spread over the worker pool, already exceeds the budget.
+    /// Only raised when the model has evidence (at least one completed run
+    /// of this or some binary); jobs for unseen binaries with no backlog
+    /// estimate are always admitted.
+    DeadlineUnmeetable {
+        /// Estimated completion time (queue wait + service) in nanoseconds.
+        estimated_nanos: u64,
+        /// The job's deadline budget in nanoseconds.
+        budget_nanos: u64,
+    },
+    /// Admission control rejected the submission because this tenant's
+    /// pending queue reached its [`TenantQuota::max_pending`] cap. Other
+    /// tenants are unaffected — back off and resubmit.
+    TenantSaturated {
+        /// The tenant whose quota was hit.
+        tenant: String,
+        /// The tenant's pending jobs at rejection time.
+        pending: usize,
+        /// The tenant's `max_pending` cap.
+        limit: usize,
+    },
+    /// The persistent artifact store could not be opened
+    /// ([`ServeConfig::store_dir`]).
+    Store {
+        /// Human-readable cause (the underlying I/O error).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -212,6 +334,24 @@ impl fmt::Display for ServeError {
             }
             ServeError::Execution(e) => write!(f, "job execution failed: {e}"),
             ServeError::ShuttingDown => write!(f, "serving session is shutting down"),
+            ServeError::DeadlineUnmeetable {
+                estimated_nanos,
+                budget_nanos,
+            } => write!(
+                f,
+                "deadline unmeetable: estimated completion {estimated_nanos} ns exceeds budget {budget_nanos} ns"
+            ),
+            ServeError::TenantSaturated {
+                tenant,
+                pending,
+                limit,
+            } => write!(
+                f,
+                "tenant '{tenant}' saturated ({pending} pending, quota {limit})"
+            ),
+            ServeError::Store { reason } => {
+                write!(f, "artifact store unavailable: {reason}")
+            }
         }
     }
 }
@@ -240,6 +380,20 @@ pub struct ServeStats {
     pub cache_evictions: u64,
     /// Distinct artifacts currently resident.
     pub cache_entries: u64,
+    /// Memory-cache misses served from the persistent disk store — the
+    /// artifact was deserialised and hydrated with **no** pipeline rebuild.
+    /// 0 when no [`ServeConfig::store_dir`] is configured.
+    pub disk_hits: u64,
+    /// Disk-store probes that found no usable entry (absent, stale or
+    /// corrupt); each corresponds to a `cache_misses` analysis.
+    pub disk_misses: u64,
+    /// Disk entries quarantined because their bytes failed verification
+    /// (renamed aside, never served, rebuilt from the binary).
+    pub disk_corrupt: u64,
+    /// Bytes removed from the disk store by its byte-budget LRU policy.
+    pub disk_evicted_bytes: u64,
+    /// Entries resident in the disk store (as indexed by this process).
+    pub disk_entries: u64,
     /// Jobs accepted by admission control.
     pub jobs_submitted: u64,
     /// Jobs that finished (successfully or not).
@@ -248,6 +402,10 @@ pub struct ServeStats {
     pub jobs_failed: u64,
     /// Submissions rejected with [`ServeError::Saturated`].
     pub jobs_rejected: u64,
+    /// Submissions rejected with [`ServeError::DeadlineUnmeetable`].
+    pub jobs_deadline_rejected: u64,
+    /// Submissions rejected with [`ServeError::TenantSaturated`].
+    pub jobs_quota_rejected: u64,
     /// Jobs currently queued, not yet picked up by a worker.
     pub jobs_pending: u64,
     /// Jobs currently executing on a worker.
@@ -257,11 +415,12 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Fraction of cache lookups that did not build: hits plus in-flight
-    /// waits over all lookups (0 when nothing was looked up).
+    /// Fraction of cache lookups that did not run an analysis: memory hits,
+    /// in-flight waits and disk hits over all lookups (0 when nothing was
+    /// looked up). `cache_misses` alone counts the analyses actually run.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
-        let amortised = self.cache_hits + self.cache_inflight_waits;
+        let amortised = self.cache_hits + self.cache_inflight_waits + self.disk_hits;
         let total = amortised + self.cache_misses;
         if total == 0 {
             0.0
@@ -304,6 +463,15 @@ pub struct JobSpec {
     /// [`SpecCommitMode::RacedImage`] for jobs that do not consume modelled
     /// figures).
     pub spec_commit: Option<SpecCommitMode>,
+    /// The submitting tenant, for fair scheduling and quotas. `None` files
+    /// the job under [`DEFAULT_TENANT`].
+    pub tenant: Option<String>,
+    /// Latency budget from submission to completion. Admission rejects the
+    /// job with [`ServeError::DeadlineUnmeetable`] when the cost model's
+    /// evidence says the budget cannot be met; `None` (the default) never
+    /// rejects on latency grounds. Admission is a *promise check*, not a
+    /// guarantee — an admitted job is not killed if it overruns.
+    pub deadline: Option<Duration>,
 }
 
 impl JobSpec {
@@ -319,6 +487,8 @@ impl JobSpec {
             threads: None,
             backend: None,
             spec_commit: None,
+            tenant: None,
+            deadline: None,
         }
     }
 
@@ -349,6 +519,20 @@ impl JobSpec {
         self.spec_commit = Some(mode);
         self
     }
+
+    /// Files this job under `tenant` for fair scheduling and quotas.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> JobSpec {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Sets the job's latency budget (see [`JobSpec::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> JobSpec {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// What one completed job produced.
@@ -356,6 +540,13 @@ impl JobSpec {
 pub struct JobReport {
     /// The job's identifier.
     pub id: JobId,
+    /// The tenant the job was filed under ([`DEFAULT_TENANT`] when the spec
+    /// set none).
+    pub tenant: String,
+    /// The job's 0-based position in the session's *dequeue* order — the
+    /// order the fair scheduler actually started jobs, which differs from
+    /// submission order when deficit round robin interleaves tenants.
+    pub sequence: u64,
     /// Content digest of the binary that ran (the artifact-cache key).
     pub binary_digest: u64,
     /// Content digest of the cached rewrite schedule the run used.
@@ -391,13 +582,29 @@ pub type JobOutcome = (JobId, Result<JobReport, ServeError>);
 /// for [`Janus`], so `janus.serve(config)` is the one entry point —
 /// re-exported by the facade crate.
 pub trait ServeSession {
-    /// Opens a serving session: spawns the worker pool and returns the
-    /// handle jobs are submitted through.
-    fn serve(&self, config: ServeConfig) -> ServeHandle;
+    /// Opens a serving session: opens the persistent store when one is
+    /// configured, spawns the worker pool and returns the handle jobs are
+    /// submitted through.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Store`] when [`ServeConfig::store_dir`] is set but the
+    /// directory cannot be created or read.
+    fn try_serve(&self, config: ServeConfig) -> Result<ServeHandle, ServeError>;
+
+    /// [`ServeSession::try_serve`], panicking on store-open failure.
+    /// Infallible for purely in-memory sessions (`store_dir: None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured persistent store cannot be opened.
+    fn serve(&self, config: ServeConfig) -> ServeHandle {
+        self.try_serve(config).expect("serving session starts")
+    }
 }
 
 impl ServeSession for Janus {
-    fn serve(&self, config: ServeConfig) -> ServeHandle {
+    fn try_serve(&self, config: ServeConfig) -> Result<ServeHandle, ServeError> {
         ServeHandle::start(self.clone(), config)
     }
 }
@@ -423,6 +630,42 @@ mod tests {
         assert!(ServeError::ShuttingDown
             .to_string()
             .contains("shutting down"));
+        let e = ServeError::DeadlineUnmeetable {
+            estimated_nanos: 2_000,
+            budget_nanos: 1_000,
+        };
+        assert!(e.to_string().contains("exceeds budget 1000 ns"));
+        let e = ServeError::TenantSaturated {
+            tenant: "acme".into(),
+            pending: 5,
+            limit: 4,
+        };
+        assert!(e.to_string().contains("'acme'"));
+        let e = ServeError::Store {
+            reason: "read-only".into(),
+        };
+        assert!(e.to_string().contains("read-only"));
+    }
+
+    #[test]
+    fn quota_lookup_falls_back_to_the_default() {
+        let config = ServeConfig {
+            default_quota: TenantQuota {
+                quantum: 10,
+                max_pending: 0,
+            },
+            tenant_quotas: vec![(
+                "acme".into(),
+                TenantQuota {
+                    quantum: 300,
+                    max_pending: 2,
+                },
+            )],
+            ..ServeConfig::default()
+        };
+        assert_eq!(config.quota_for("acme").quantum, 300);
+        assert_eq!(config.quota_for("acme").max_pending, 2);
+        assert_eq!(config.quota_for(DEFAULT_TENANT).quantum, 10);
     }
 
     #[test]

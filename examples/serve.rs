@@ -9,8 +9,13 @@
 //! cross-checks each result against a serial run of the same cached
 //! artifact.
 //!
+//! With `--store DIR` the session persists every artifact to a
+//! content-addressed disk store in `DIR`; run the example twice against the
+//! same directory and the second run serves every binary from disk with
+//! zero pipeline rebuilds (`--expect-warm` asserts exactly that).
+//!
 //! Run with:
-//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N]`
+//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N] [--store DIR [--expect-warm]]`
 
 use janus::core::{BackendKind, Janus, JanusConfig, PreparedDbm};
 use janus::serve::{JobSpec, ServeConfig, ServeSession};
@@ -25,8 +30,35 @@ mod flags;
 const NAMES: [&str; 3] = ["470.lbm", "459.GemsFDTD", "spec.histogram"];
 const JOBS_PER_BINARY: usize = 4;
 
+/// Parses the example's own `--store DIR` / `--expect-warm` flags (the
+/// shared parser ignores flags it does not know).
+fn store_flags() -> (Option<std::path::PathBuf>, bool) {
+    let mut store = None;
+    let mut expect_warm = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--store expects a directory path");
+                    std::process::exit(2);
+                });
+                store = Some(std::path::PathBuf::from(dir));
+            }
+            "--expect-warm" => expect_warm = true,
+            _ => {}
+        }
+    }
+    if expect_warm && store.is_none() {
+        eprintln!("--expect-warm requires --store DIR");
+        std::process::exit(2);
+    }
+    (store, expect_warm)
+}
+
 fn main() {
     let (backend, threads) = flags::parse(4);
+    let (store_dir, expect_warm) = store_flags();
     let janus = Janus::with_config(JanusConfig {
         threads,
         backend,
@@ -69,6 +101,7 @@ fn main() {
     // alternating the execution backend per job.
     let handle = janus.serve(ServeConfig {
         workers: 4,
+        store_dir: store_dir.clone(),
         ..ServeConfig::default()
     });
     // One spec per binary (the content digest is computed once in
@@ -126,6 +159,25 @@ fn main() {
         stats.jobs_rejected,
         stats.max_in_flight_seen,
     );
-    assert_eq!(stats.cache_misses, binaries.len() as u64);
+    if let Some(dir) = &store_dir {
+        println!(
+            "store {}: {} entries, {} disk hits, {} disk misses, {} corrupt",
+            dir.display(),
+            stats.disk_entries,
+            stats.disk_hits,
+            stats.disk_misses,
+            stats.disk_corrupt,
+        );
+    }
+    if expect_warm {
+        // A warm start over a populated store dir rebuilds nothing: every
+        // artifact is deserialised from disk, no analysis runs.
+        assert_eq!(stats.cache_misses, 0, "warm start must not rebuild");
+        assert_eq!(stats.disk_hits, binaries.len() as u64);
+        println!("warm start verified: 0 analyses, all artifacts from disk");
+    } else {
+        assert_eq!(stats.cache_misses, binaries.len() as u64);
+    }
+    assert_eq!(stats.disk_corrupt, 0);
     assert_eq!(stats.jobs_failed, 0);
 }

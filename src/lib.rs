@@ -13,9 +13,16 @@
 //! * [`dbm`] — the dynamic binary modifier and parallel runtime.
 //! * [`spec`] — Block-STM-style speculative DOACROSS loop execution.
 //! * [`core`] — the end-to-end Janus pipeline.
-//! * [`serve`] — the multi-tenant serving layer: content-addressed
-//!   analysis/schedule cache plus a bounded concurrent job executor.
+//! * [`serve`] — the multi-tenant serving layer: two-tier content-addressed
+//!   artifact cache (memory LRU over a persistent disk store) plus a fair
+//!   job executor with tenant quotas and deadline admission.
 //! * [`workloads`] — the synthetic SPEC-like benchmark programs.
+//!
+//! `docs/ARCHITECTURE.md` in the repository is the systems-level tour of
+//! how these crates fit together — the end-to-end pipeline, the two
+//! execution backends and why their modelled numbers are identical, and
+//! the artifact lifecycle from content digest through memory cache to the
+//! persistent disk store.
 //!
 //! # Quickstart
 //!
@@ -38,7 +45,10 @@
 //! calling [`core::Janus::run`] per invocation: the session caches each
 //! binary's analysis and rewrite schedule by content digest (built exactly
 //! once, however many clients submit it) and executes jobs concurrently on
-//! a bounded worker pool.
+//! a worker pool that schedules tenants fairly by deficit round-robin.
+//! Set [`serve::ServeConfig::store_dir`] to persist every artifact to a
+//! content-addressed disk store shared across sessions and processes — a
+//! restarted session warm-starts from it with zero pipeline rebuilds.
 //!
 //! ```
 //! use std::sync::Arc;
