@@ -3,7 +3,7 @@
 //!
 //! Usage:
 //! `cargo run --release -p janus-bench --bin figures -- \
-//!     [fig6|fig7|...|table3|bench-json|all] [--backend virtual|native] [--threads N]`
+//!     [fig6|fig7|...|table3|bench-json|trace|all] [--backend virtual|native] [--threads N]`
 //!
 //! `--backend` selects the execution backend for every figure (it sets
 //! `JANUS_BACKEND`, which the default configurations honour); modelled
@@ -19,7 +19,7 @@ use janus_core::BackendKind;
 /// A named figure renderer taking the thread count.
 type Figure = (&'static str, fn(u32));
 
-const FIGURES: [Figure; 11] = [
+const FIGURES: [Figure; 12] = [
     ("fig6", |_| fig6()),
     ("fig7", fig7),
     ("fig8", |_| fig8()),
@@ -31,6 +31,7 @@ const FIGURES: [Figure; 11] = [
     ("table2", |_| table2()),
     ("table3", table3),
     ("bench-json", bench_json),
+    ("trace", |_| trace()),
 ];
 
 fn usage() -> ! {
@@ -74,9 +75,9 @@ fn main() {
     let which = which.unwrap_or_else(|| "all".to_string());
     if which == "all" {
         for (name, run) in FIGURES {
-            // `bench-json` is an export command (it writes a file); keep the
-            // default figure sweep a pure print.
-            if name != "bench-json" {
+            // `bench-json` and `trace` are export commands (they write
+            // files); keep the default figure sweep a pure print.
+            if name != "bench-json" && name != "trace" {
                 run(threads);
             }
         }
@@ -146,6 +147,43 @@ fn bench_json(threads: u32) {
         warm.warm_speedup,
         warm.store_bytes,
     );
+}
+
+fn trace() {
+    let backend = BackendKind::from_env();
+    let run = bench::serve_trace(backend, 4);
+    let path = format!("TRACE_{}.json", backend.label());
+    std::fs::write(&path, &run.chrome_json).expect("write chrome trace");
+    println!(
+        "\n=== Flight recorder: {} jobs / {} workers ({} backend) -> {} ===",
+        run.jobs,
+        run.workers,
+        backend.label(),
+        path
+    );
+    println!(
+        "events: {} captured, {} dropped; load the file in ui.perfetto.dev",
+        run.events, run.dropped
+    );
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50 (s)", "p90 (s)", "p99 (s)", "max (s)"
+    );
+    for (stage, s) in [
+        ("queue-wait", run.stats.job_queue_wait),
+        ("execute", run.stats.job_execute),
+        ("job-wall", run.stats.job_wall),
+    ] {
+        println!(
+            "{:<14} {:>6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}",
+            stage,
+            s.count,
+            s.p50_seconds(),
+            s.p90_seconds(),
+            s.p99_seconds(),
+            s.max_seconds(),
+        );
+    }
 }
 
 fn fig6() {

@@ -481,9 +481,14 @@ pub struct ServeThroughputRow {
     pub cache_hit_rate: f64,
     /// Analyses actually run (cache misses; distinct binaries in the batch).
     pub cache_misses: u64,
-    /// Median per-job wall time in seconds.
+    /// Median per-job wall time in seconds, read from the session's
+    /// log-bucketed latency histogram
+    /// ([`ServeStats::job_wall`](janus_serve::ServeStats::job_wall)) — a
+    /// nearest-rank bucket upper bound, never more than 2× the exact
+    /// median and exact for an empty batch (0).
     pub p50_job_seconds: f64,
-    /// 99th-percentile per-job wall time in seconds.
+    /// 99th-percentile per-job wall time in seconds, from the same
+    /// histogram.
     pub p99_job_seconds: f64,
     /// Jobs that finished with an error (0 on a healthy run).
     pub failures: u64,
@@ -534,18 +539,11 @@ pub fn serve_throughput(backend: BackendKind, workers: usize, jobs: usize) -> Se
     let outcomes = handle.join();
     let total_seconds = start.elapsed().as_secs_f64();
 
-    let mut job_seconds: Vec<f64> = outcomes
-        .iter()
-        .filter_map(|(_, r)| r.as_ref().ok().map(|r| r.wall_nanos as f64 / 1e9))
-        .collect();
-    job_seconds.sort_by(|a, b| a.total_cmp(b));
-    let percentile = |p: f64| -> f64 {
-        if job_seconds.is_empty() {
-            return 0.0;
-        }
-        let idx = ((job_seconds.len() - 1) as f64 * p).round() as usize;
-        job_seconds[idx]
-    };
+    // Percentiles come from the session's always-on latency histogram.
+    // The old sort-the-samples path both retained every sample and rounded
+    // the rank (`(len - 1) * p` rounds p99 of a 26-job batch to the *25th*
+    // of 26 samples, not the top one); nearest-rank over log buckets is
+    // cheap, streaming, and within 2× by construction.
     let stats = handle.stats();
     ServeThroughputRow {
         backend,
@@ -555,9 +553,95 @@ pub fn serve_throughput(backend: BackendKind, workers: usize, jobs: usize) -> Se
         jobs_per_sec: outcomes.len() as f64 / total_seconds.max(1e-9),
         cache_hit_rate: stats.cache_hit_rate(),
         cache_misses: stats.cache_misses,
-        p50_job_seconds: percentile(0.50),
-        p99_job_seconds: percentile(0.99),
+        p50_job_seconds: stats.job_wall.p50_seconds(),
+        p99_job_seconds: stats.job_wall.p99_seconds(),
         failures: stats.jobs_failed,
+    }
+}
+
+/// One traced serving run over the workload suite: the Chrome-trace
+/// document plus the latency summary `figures trace` prints alongside it.
+#[derive(Debug, Clone)]
+pub struct ServeTraceRun {
+    /// Backend the traced session executed under.
+    pub backend: BackendKind,
+    /// Worker threads that drained the session's queue.
+    pub workers: usize,
+    /// Jobs the traced batch completed.
+    pub jobs: usize,
+    /// Chrome trace-event JSON — load it in Perfetto (`ui.perfetto.dev`)
+    /// or `chrome://tracing`. Validated against the vendored JSON parser
+    /// before it is returned.
+    pub chrome_json: String,
+    /// Session counters, including the histogram-backed latency quantiles
+    /// (`job_wall` / `job_queue_wait` / `job_execute`).
+    pub stats: janus_serve::ServeStats,
+    /// Events resident in the recorder's ring buffers at export.
+    pub events: usize,
+    /// Events dropped by ring overflow (the flight recorder keeps the most
+    /// recent window; a non-zero value means the window was exceeded).
+    pub dropped: u64,
+}
+
+/// Serves the whole workload suite (two jobs per workload) through a traced
+/// session and exports the flight recorder: per-job `serve.job` spans
+/// (queue wait, cache probe, execute), the core pipeline's
+/// analysis/schedule spans and the execution backends' chunk/speculation
+/// events, on one timeline with one track per worker.
+///
+/// # Panics
+///
+/// Panics if a workload fails to compile, a submission is rejected, a job
+/// fails, or the exported trace is not valid JSON (the export is the
+/// product here, so a malformed document is a hard error).
+#[must_use]
+pub fn serve_trace(backend: BackendKind, workers: usize) -> ServeTraceRun {
+    use janus_serve::{JobSpec, ServeConfig, ServeSession};
+    use std::sync::Arc;
+
+    let names: Vec<&str> = parallel_benchmarks()
+        .into_iter()
+        .chain(speculative_benchmarks())
+        .collect();
+    let janus = Janus::with_config(JanusConfig {
+        threads: 4,
+        backend,
+        ..JanusConfig::default()
+    });
+    let trace = janus_obs::Recorder::enabled();
+    let handle = janus.serve(ServeConfig {
+        workers,
+        queue_depth: names.len() * 2,
+        trace: trace.clone(),
+        ..ServeConfig::default()
+    });
+    // Two jobs per workload: the second submission of each binary is a
+    // cache hit, so the trace shows both a cold job (analysis + schedule
+    // spans inside the probe) and a warm one (probe returns immediately).
+    let mut jobs = 0;
+    for name in &names {
+        let spec = JobSpec::new(Arc::new(compile_train(name, CompileOptions::gcc_o3())));
+        for _ in 0..2 {
+            handle.submit(spec.clone()).expect("queue sized to batch");
+            jobs += 1;
+        }
+    }
+    let outcomes = handle.join();
+    for (id, outcome) in &outcomes {
+        outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("traced batch job {id} failed: {e}"));
+    }
+    let chrome_json = trace.chrome_trace();
+    janus_obs::json::parse(&chrome_json).expect("chrome trace is valid JSON");
+    ServeTraceRun {
+        backend,
+        workers,
+        jobs,
+        chrome_json,
+        stats: handle.shutdown(),
+        events: trace.len(),
+        dropped: trace.dropped(),
     }
 }
 
@@ -883,6 +967,62 @@ mod tests {
         );
         assert!(row.jobs_per_sec > 0.0);
         assert!(row.p50_job_seconds <= row.p99_job_seconds);
+    }
+
+    #[test]
+    fn histogram_percentiles_cross_check_against_exact_values() {
+        // The satellite fix: `serve_throughput` used to sort the samples and
+        // round the rank (p99 of 26 samples picked index 25*0.99 ≈ 25 → the
+        // *second-largest*); the histogram path must bound the exact
+        // nearest-rank value from above by strictly less than 2×.
+        let samples: Vec<u64> = (1..=200u64)
+            .map(|i| i * 7_000 + (i % 13) * 911) // skewed, non-uniform
+            .collect();
+        let hist = janus_obs::Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let stats = hist.latency_stats();
+        for (q, estimate) in [
+            (0.50, stats.p50_nanos),
+            (0.90, stats.p90_nanos),
+            (0.99, stats.p99_nanos),
+        ] {
+            // Exact nearest-rank: ceil(q*n), 1-based.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            assert!(
+                estimate >= exact,
+                "p{q}: histogram {estimate} under-reports exact {exact}"
+            );
+            assert!(
+                estimate < exact * 2,
+                "p{q}: histogram {estimate} exceeds 2x exact {exact}"
+            );
+        }
+        assert_eq!(stats.max_nanos, *sorted.last().unwrap(), "max is exact");
+    }
+
+    #[test]
+    fn serve_trace_exports_a_valid_chrome_document() {
+        let run = serve_trace(BackendKind::from_env(), 4);
+        assert_eq!(run.stats.jobs_failed, 0);
+        assert_eq!(run.stats.job_wall.count as usize, run.jobs);
+        let doc = janus_obs::json::parse(&run.chrome_json).expect("valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents");
+        for span in ["queue.wait", "cache.probe", "execute", "analysis"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(span)),
+                "trace is missing {span:?} events"
+            );
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@
 use janus_analysis::{analyze, AnalysisError, BinaryAnalysis, LoopCategory, LoopInfo, VarRef};
 use janus_dbm::{Dbm, DbmConfig, DbmError, DbmRunResult};
 use janus_ir::{Cond, JBinary};
+use janus_obs::Recorder;
 use janus_profile::{generate_profiling_schedule, profile, ProfileData};
 use janus_schedule::{RewriteRule, RewriteSchedule, RuleId};
 use janus_vm::{Process, RunResult, Vm, VmError};
@@ -82,7 +83,10 @@ impl OptimisationMode {
 }
 
 /// Configuration of a Janus run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Not `Copy` (the [`trace`](JanusConfig::trace) recorder is a shared
+/// handle); clone it where a copy was previously implicit.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JanusConfig {
     /// Number of threads for parallel loops.
     pub threads: u32,
@@ -106,6 +110,15 @@ pub struct JanusConfig {
     pub speculation: bool,
     /// Overrides for the DBM cost model.
     pub dbm: DbmConfig,
+    /// Flight recorder the pipeline and the execution backends emit
+    /// structured events to: analysis/profile/schedule spans from
+    /// [`Janus::prepare`], per-chunk run/merge spans from both execution
+    /// backends, and incarnation events from the racing speculation pool.
+    /// Defaults to the null recorder — disabled, with a hot-path cost of
+    /// one branch per emission site. Attach
+    /// [`Recorder::enabled`](janus_obs::Recorder::enabled) and export via
+    /// its `chrome_trace`/`jsonl`/`prometheus_text` methods.
+    pub trace: Recorder,
 }
 
 impl Default for JanusConfig {
@@ -117,6 +130,7 @@ impl Default for JanusConfig {
             coverage_threshold: 0.02,
             speculation: true,
             dbm: DbmConfig::default(),
+            trace: Recorder::default(),
         }
     }
 }
@@ -554,6 +568,23 @@ impl Janus {
         &self.config
     }
 
+    /// This paralleliser with `trace` attached (builder style): pipeline
+    /// stages and execution backends emit structured events to it. Serving
+    /// layers use this to install their session recorder into the pipeline
+    /// they drive.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Recorder) -> Janus {
+        self.config.trace = trace;
+        self
+    }
+
+    /// The flight recorder this paralleliser emits to (the null recorder
+    /// unless one was configured).
+    #[must_use]
+    pub fn trace(&self) -> &Recorder {
+        &self.config.trace
+    }
+
     /// Statically analyses a binary.
     ///
     /// # Errors
@@ -704,14 +735,25 @@ impl Janus {
         binary: &JBinary,
         train_input: &[i64],
     ) -> Result<PipelineArtifacts, JanusError> {
-        let analysis = self.analyze(binary)?;
+        let rec = &self.config.trace;
+        let digest = binary.content_digest();
+        let analysis = {
+            let _span = rec.span("core.pipeline", "analysis").arg("digest", digest);
+            self.analyze(binary)?
+        };
         let profile = if self.config.mode.uses_profile() {
+            let _span = rec.span("core.pipeline", "profile").arg("digest", digest);
             Some(self.profile(binary, &analysis, train_input)?)
         } else {
             None
         };
-        let selected_loops = self.select_loops(&analysis, profile.as_ref());
-        let schedule = self.generate_schedule(binary, &analysis, &selected_loops);
+        let (selected_loops, schedule) = {
+            let mut span = rec.span("core.pipeline", "schedule").arg("digest", digest);
+            let selected_loops = self.select_loops(&analysis, profile.as_ref());
+            span.push_arg("selected_loops", selected_loops.len());
+            let schedule = self.generate_schedule(binary, &analysis, &selected_loops);
+            (selected_loops, schedule)
+        };
         let speculative_loops: Vec<usize> = selected_loops
             .iter()
             .copied()
@@ -768,6 +810,7 @@ impl Janus {
 
         // Parallel execution under the DBM.
         let mut dbm = Dbm::new(process, &artifacts.schedule, self.dbm_config());
+        dbm.set_recorder(self.config.trace.clone());
         dbm.set_input(ref_input);
         let parallel = dbm.run()?;
 

@@ -35,6 +35,7 @@
 
 use crate::runtime::LoopRt;
 use crate::{DbmConfig, DbmError, Result, SpecCommitMode};
+use janus_obs::Recorder;
 use janus_spec::{IterationRun, LaneSet, Lanes, SpecConfig, SpecError, SpecOutcome, SpecView};
 use janus_vm::{CowMemory, Cpu, FlatMemory, GuestMemory, OverlayWrite, Process};
 use std::collections::{HashMap, HashSet};
@@ -278,6 +279,9 @@ pub struct ChunkContext<'a> {
     pub(crate) process: &'a Process,
     pub(crate) lr: &'a LoopRt,
     pub(crate) config: &'a DbmConfig,
+    /// Flight recorder the backends emit per-chunk run/merge spans to (the
+    /// null recorder when tracing is off — one branch per emission site).
+    pub(crate) recorder: &'a Recorder,
 }
 
 /// The result of executing one batch of chunks.
@@ -366,7 +370,9 @@ pub trait ExecutionBackend: fmt::Debug + Send + Sync + sealed::Sealed {
     /// Runs one speculative (`SPECULATE`) loop invocation through the
     /// `janus-spec` engine. `commit` selects how the native-threads backend
     /// lands the result ([`SpecCommitMode`]); the virtual-time backend is
-    /// always deterministic and ignores it.
+    /// always deterministic and ignores it. `recorder` receives incarnation
+    /// events from the racing pool plus divergence/fallback diagnostics
+    /// (pass the null recorder to trace nothing).
     fn run_speculative_invocation(
         &self,
         spec_config: &SpecConfig,
@@ -374,6 +380,7 @@ pub trait ExecutionBackend: fmt::Debug + Send + Sync + sealed::Sealed {
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
+        recorder: &Recorder,
     ) -> SpecInvocationOutcome;
 }
 
@@ -408,7 +415,13 @@ impl ExecutionBackend for VirtualTimeBackend {
     ) -> Result<BatchOutcome> {
         let mut results = Vec::with_capacity(plans.len());
         let mut effects = ChunkSideEffects::default();
-        for plan in plans {
+        for (i, plan) in plans.iter().enumerate() {
+            let _span = ctx
+                .recorder
+                .span("dbm.chunk", "chunk.run")
+                .arg("chunk", i)
+                .arg("bound", plan.bound)
+                .arg("backend", "virtual");
             let mut cpu = plan.cpu.clone();
             let mut accounting = LiveAccounting(cache);
             let exit_pc = crate::runtime::run_chunk(
@@ -438,7 +451,12 @@ impl ExecutionBackend for VirtualTimeBackend {
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
+        recorder: &Recorder,
     ) -> SpecInvocationOutcome {
+        let _span = recorder
+            .span("dbm.spec", "spec.deterministic")
+            .arg("iterations", iterations)
+            .arg("lanes", spec_config.lanes);
         let result = janus_spec::run_speculative_with_lanes(
             spec_config,
             Lanes::new(spec_config.lanes),
@@ -497,8 +515,15 @@ impl ExecutionBackend for NativeThreadsBackend {
         let worker_outs: Vec<WorkerOut> = std::thread::scope(|scope| {
             let handles: Vec<_> = plans
                 .iter()
-                .map(|plan| {
+                .enumerate()
+                .map(|(i, plan)| {
                     scope.spawn(move || -> WorkerOut {
+                        let _span = ctx
+                            .recorder
+                            .span("dbm.chunk", "chunk.run")
+                            .arg("chunk", i)
+                            .arg("bound", plan.bound)
+                            .arg("backend", "native");
                         let mut overlay = CowMemory::new(base);
                         let mut accounting = DeferredAccounting::default();
                         let mut effects = ChunkSideEffects::default();
@@ -529,6 +554,10 @@ impl ExecutionBackend for NativeThreadsBackend {
         // cannot produce) and code-cache charges replay sequentially,
         // matching the sequential chunk order — and therefore the exact
         // cycle totals — of the virtual-time backend.
+        let merge_span = ctx
+            .recorder
+            .span("dbm.chunk", "chunk.merge")
+            .arg("chunks", plans.len());
         let mut results = Vec::with_capacity(plans.len());
         let mut effects = ChunkSideEffects::default();
         for out in worker_outs {
@@ -538,6 +567,7 @@ impl ExecutionBackend for NativeThreadsBackend {
             accounting.replay(cache, ctx.config, &mut effects);
             results.push(ChunkResult { cpu, exit_pc });
         }
+        drop(merge_span);
         let parallel_cycles = modelled_parallel_cycles(ctx.config.threads, &results);
         Ok(BatchOutcome {
             results,
@@ -555,6 +585,7 @@ impl ExecutionBackend for NativeThreadsBackend {
         base: &mut FlatMemory,
         iterations: usize,
         body: SpecBody<'_>,
+        recorder: &Recorder,
     ) -> SpecInvocationOutcome {
         // First the *racing pool*: one OS worker per lane pulls
         // execution/validation tasks from the shared atomic scheduler and
@@ -563,8 +594,20 @@ impl ExecutionBackend for NativeThreadsBackend {
         // reports.
         let threads = spec_config.lanes.max(1) as usize;
         let start = Instant::now();
-        let raced =
-            janus_spec::run_speculative_pooled(spec_config, threads, &*base, iterations, body);
+        let raced = {
+            let _span = recorder
+                .span("dbm.spec", "spec.race")
+                .arg("iterations", iterations)
+                .arg("threads", threads);
+            janus_spec::run_speculative_pooled_traced(
+                spec_config,
+                threads,
+                &*base,
+                iterations,
+                body,
+                recorder,
+            )
+        };
         let wall_nanos = start.elapsed().as_nanos() as u64;
         let os_threads = raced
             .as_ref()
@@ -599,10 +642,20 @@ impl ExecutionBackend for NativeThreadsBackend {
                         os_threads,
                     };
                 }
-                eprintln!(
-                    "janus-dbm: racing speculative pool left live estimates; \
-                     falling back to the deterministic engine"
-                );
+                // Structured diagnostic: visible in trace exports when a
+                // recorder is attached, on stderr otherwise (never silent).
+                if recorder.is_enabled() {
+                    recorder.instant(
+                        "dbm.spec",
+                        "spec.pool-fallback",
+                        &[("reason", "live-estimates".into())],
+                    );
+                } else {
+                    eprintln!(
+                        "janus-dbm: racing speculative pool left live estimates; \
+                         falling back to the deterministic engine"
+                    );
+                }
             }
             let mut outcome = VirtualTimeBackend.run_speculative_invocation(
                 spec_config,
@@ -610,6 +663,7 @@ impl ExecutionBackend for NativeThreadsBackend {
                 base,
                 iterations,
                 body,
+                recorder,
             );
             outcome.wall_nanos = wall_nanos;
             outcome.os_threads = os_threads;
@@ -635,6 +689,7 @@ impl ExecutionBackend for NativeThreadsBackend {
             base,
             iterations,
             body,
+            recorder,
         );
         if let (Ok(raced), Ok(deterministic)) = (&raced, &outcome.result) {
             let diverged = raced.image != deterministic.image || raced.live_estimates != 0;
@@ -645,10 +700,20 @@ impl ExecutionBackend for NativeThreadsBackend {
                      (live estimates: {})",
                     raced.live_estimates
                 );
-                eprintln!(
-                    "janus-dbm: racing speculative pool diverged from the \
-                     deterministic engine; keeping the deterministic result"
-                );
+                // Structured diagnostic: visible in trace exports when a
+                // recorder is attached, on stderr otherwise (never silent).
+                if recorder.is_enabled() {
+                    recorder.instant(
+                        "dbm.spec",
+                        "spec.pool-divergence",
+                        &[("live_estimates", raced.live_estimates.into())],
+                    );
+                } else {
+                    eprintln!(
+                        "janus-dbm: racing speculative pool diverged from the \
+                         deterministic engine; keeping the deterministic result"
+                    );
+                }
             }
         }
         outcome.wall_nanos = wall_nanos;

@@ -7,6 +7,7 @@ use crate::backend::{BlockAccounting, ChunkContext, ChunkPlan, ChunkSideEffects,
 use crate::stm::TxView;
 use crate::{DbmConfig, DbmError, DbmStats, Result};
 use janus_ir::{Inst, Operand, Reg, SyscallNum, INST_SIZE, STACK_SIZE};
+use janus_obs::Recorder;
 use janus_schedule::{RewriteSchedule, RuleId, RuleIndex};
 use janus_vm::{exec_inst, Cpu, Effect, FlatMemory, GuestMemory, Process, ResolvedPlt};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -292,7 +293,27 @@ impl PreparedDbm {
     /// Returns an error if guest execution faults or the cycle limit is
     /// exceeded.
     pub fn execute_with(&self, input: &[i64], config: DbmConfig) -> Result<DbmRunResult> {
+        self.execute_traced(input, config, &Recorder::default())
+    }
+
+    /// [`PreparedDbm::execute_with`] with a flight recorder attached: the
+    /// execution backends emit per-chunk run/merge spans and the racing
+    /// speculation pool emits per-incarnation events to it. `DbmConfig`
+    /// stays `Copy`, so the recorder rides alongside the config rather than
+    /// inside it. Passing the null recorder is exactly `execute_with`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if guest execution faults or the cycle limit is
+    /// exceeded.
+    pub fn execute_traced(
+        &self,
+        input: &[i64],
+        config: DbmConfig,
+        recorder: &Recorder,
+    ) -> Result<DbmRunResult> {
         let mut dbm = Dbm::from_prepared_with_config(self.clone(), config);
+        dbm.set_recorder(recorder.clone());
         dbm.set_input(input);
         dbm.run()
     }
@@ -304,6 +325,7 @@ impl PreparedDbm {
 pub struct Dbm {
     prepared: PreparedDbm,
     config: DbmConfig,
+    recorder: Recorder,
 
     mem: FlatMemory,
     main: Cpu,
@@ -341,6 +363,7 @@ impl Dbm {
         Dbm {
             prepared,
             config,
+            recorder: Recorder::default(),
             mem,
             main,
             stats: DbmStats::default(),
@@ -357,6 +380,14 @@ impl Dbm {
     /// Provides simulated standard input.
     pub fn set_input(&mut self, input: &[i64]) {
         self.input = input.iter().copied().collect();
+    }
+
+    /// Attaches a flight recorder for this run: the execution backends emit
+    /// per-chunk run/merge spans and speculative-pool incarnation events to
+    /// it. The default is the null recorder (no events, one branch per
+    /// emission site).
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// Number of loops the schedule asked the DBM to parallelise.
@@ -694,6 +725,7 @@ impl Dbm {
             process: &self.prepared.parts.process,
             lr: &lr,
             config: &self.config,
+            recorder: &self.recorder,
         };
         let batch = backend.run_chunks(&ctx, &plans, &mut self.mem, &mut self.cache)?;
         self.fold_chunk_effects(batch.effects);
@@ -916,6 +948,7 @@ impl Dbm {
             &mut base,
             iterations as usize,
             &body,
+            &self.recorder,
         );
         self.mem = base;
         self.stats.parallel_wall_nanos += invocation.wall_nanos;

@@ -9,6 +9,7 @@ use crate::{
     JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats, DEFAULT_TENANT,
 };
 use janus_core::{Janus, PipelineArtifacts, PreparedDbm};
+use janus_obs::{Histogram, Recorder};
 use janus_vm::Process;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -31,6 +32,9 @@ struct PendingJob {
     /// tracked so the queue's aggregate backlog estimate stays consistent
     /// when the job leaves the queue.
     est_nanos: u64,
+    /// When the job entered the queue; its queue wait (dequeue minus this)
+    /// feeds the queue-wait histogram and the flight recorder.
+    submitted: Instant,
 }
 
 /// One tenant's FIFO backlog plus its deficit-round-robin account.
@@ -68,8 +72,8 @@ impl QueueState {
     /// of the ring, grant its quantum until the deficit covers the head
     /// job's cost (rotating between grants so other tenants are served in
     /// between), then charge the deficit and hand the job out. Returns the
-    /// job and its dequeue sequence number.
-    fn pop_next(&mut self) -> Option<(JobId, JobSpec, u64)> {
+    /// job, its dequeue sequence number and its submission instant.
+    fn pop_next(&mut self) -> Option<(JobId, JobSpec, u64, Instant)> {
         if self.pending_total == 0 {
             return None;
         }
@@ -103,7 +107,7 @@ impl QueueState {
             self.pending_est_nanos = self.pending_est_nanos.saturating_sub(pending.est_nanos);
             let sequence = self.dequeue_seq;
             self.dequeue_seq += 1;
-            return Some((pending.id, pending.job, sequence));
+            return Some((pending.id, pending.job, sequence, pending.submitted));
         }
     }
 }
@@ -193,6 +197,16 @@ struct Shared {
     config: ServeConfig,
     cache: ArtifactCache,
     cost_model: CostModel,
+    /// The session's flight recorder ([`ServeConfig::trace`]); disabled by
+    /// default, in which case every event site costs one branch.
+    trace: Recorder,
+    /// End-to-end job latency (dequeue through execution). Cached `Arc`s so
+    /// the histograms work — and `stats()` reads them — with tracing off.
+    hist_job_wall: Arc<Histogram>,
+    /// Queue wait: submission to dequeue.
+    hist_queue_wait: Arc<Histogram>,
+    /// Guest execution alone, excluding artifact resolution.
+    hist_execute: Arc<Histogram>,
     state: Mutex<QueueState>,
     /// Wakes workers when a job is queued (or shutdown begins).
     work_ready: Condvar,
@@ -235,14 +249,21 @@ impl ServeHandle {
     /// Starts a session: opens the persistent store when configured,
     /// allocates the artifact cache and spawns the worker pool.
     pub(crate) fn start(janus: Janus, config: ServeConfig) -> Result<ServeHandle, ServeError> {
+        // One recorder spans the whole stack: the executor's job events,
+        // the pipeline's analysis/schedule spans (via the session's Janus),
+        // the execution backends' chunk/speculation events and the disk
+        // store's write/quarantine/evict instants all land in one sink.
+        let trace = config.trace.clone();
+        let janus = janus.with_trace(trace.clone());
         let fingerprint = config_fingerprint(&janus, &config.train_input);
         let cache = match &config.store_dir {
             Some(dir) => {
-                let store = ArtifactStore::open(dir, config.store_max_bytes).map_err(|e| {
+                let mut store = ArtifactStore::open(dir, config.store_max_bytes).map_err(|e| {
                     ServeError::Store {
                         reason: format!("{}: {e}", dir.display()),
                     }
                 })?;
+                store.set_recorder(trace.clone());
                 ArtifactCache::with_disk_store(
                     config.cache_capacity,
                     config.cache_shards,
@@ -258,6 +279,10 @@ impl ServeHandle {
             config,
             cache,
             cost_model: CostModel::default(),
+            hist_job_wall: trace.histogram("serve.job.wall"),
+            hist_queue_wait: trace.histogram("serve.job.queue_wait"),
+            hist_execute: trace.histogram("serve.job.execute"),
+            trace,
             state: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
@@ -275,7 +300,7 @@ impl ServeHandle {
                 let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("janus-serve-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn serving worker")
             })
             .collect();
@@ -309,11 +334,33 @@ impl ServeHandle {
         let limit = shared.config.effective_max_in_flight();
         if state.pending_total >= shared.config.queue_depth || in_flight >= limit {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            if shared.trace.is_enabled() {
+                shared.trace.instant(
+                    "serve.job",
+                    "job.reject",
+                    &[
+                        ("reason", "saturated".into()),
+                        ("in_flight", in_flight.into()),
+                        ("limit", limit.into()),
+                    ],
+                );
+            }
             return Err(ServeError::Saturated { in_flight, limit });
         }
         let tenant_pending = state.tenants.get(&tenant_name).map_or(0, |t| t.queue.len());
         if quota.max_pending > 0 && tenant_pending >= quota.max_pending {
             shared.jobs_quota_rejected.fetch_add(1, Ordering::Relaxed);
+            if shared.trace.is_enabled() {
+                shared.trace.instant(
+                    "serve.job",
+                    "job.reject",
+                    &[
+                        ("reason", "tenant-quota".into()),
+                        ("tenant", tenant_name.as_ref().into()),
+                        ("pending", tenant_pending.into()),
+                    ],
+                );
+            }
             return Err(ServeError::TenantSaturated {
                 tenant: tenant_name.to_string(),
                 pending: tenant_pending,
@@ -331,6 +378,17 @@ impl ServeHandle {
                 shared
                     .jobs_deadline_rejected
                     .fetch_add(1, Ordering::Relaxed);
+                if shared.trace.is_enabled() {
+                    shared.trace.instant(
+                        "serve.job",
+                        "job.reject",
+                        &[
+                            ("reason", "deadline".into()),
+                            ("estimated_nanos", estimated_nanos.into()),
+                            ("budget_nanos", budget_nanos.into()),
+                        ],
+                    );
+                }
                 return Err(ServeError::DeadlineUnmeetable {
                     estimated_nanos,
                     budget_nanos,
@@ -357,6 +415,7 @@ impl ServeHandle {
             job,
             cost_tokens,
             est_nanos,
+            submitted: Instant::now(),
         });
         if was_empty {
             state.ring.push_back(tenant_name);
@@ -442,7 +501,19 @@ impl ServeHandle {
             jobs_pending: pending,
             jobs_running: running,
             max_in_flight_seen: shared.max_in_flight_seen.load(Ordering::Relaxed),
+            job_wall: shared.hist_job_wall.latency_stats(),
+            job_queue_wait: shared.hist_queue_wait.latency_stats(),
+            job_execute: shared.hist_execute.latency_stats(),
         }
+    }
+
+    /// The session's flight recorder ([`ServeConfig::trace`]) — the same
+    /// handle that was installed into the pipeline and store, so exporting
+    /// from it yields the whole stack's events. Disabled (and empty) unless
+    /// the config supplied an enabled recorder.
+    #[must_use]
+    pub fn trace(&self) -> &Recorder {
+        &self.shared.trace
     }
 
     /// Stops the session: workers finish their current job and exit, then
@@ -471,9 +542,14 @@ impl Drop for ServeHandle {
 
 /// One worker: pop the fair scheduler's next job, resolve its artifact,
 /// execute, publish the result and feed the cost model.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
+    if shared.trace.is_enabled() {
+        shared
+            .trace
+            .set_thread_track(&format!("janus-serve-{index}"));
+    }
     loop {
-        let (id, job, sequence) = {
+        let (id, job, sequence, submitted) = {
             let mut state = shared.state.lock().expect("serve queue poisoned");
             loop {
                 // Stop is checked before popping so shutdown abandons
@@ -490,6 +566,27 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_ready.wait(state).expect("serve queue poisoned");
             }
         };
+        // Queue wait is measured from the submission instant whether or not
+        // tracing is on (the histogram backs `ServeStats`); the async span —
+        // which may overlap this worker's own job span — only when it is.
+        let wait_nanos = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        shared.hist_queue_wait.record(wait_nanos);
+        if shared.trace.is_enabled() {
+            let end = shared.trace.now_nanos();
+            shared.trace.async_span(
+                "serve.job",
+                "queue.wait",
+                end.saturating_sub(wait_nanos),
+                end,
+                &[
+                    ("job", id.0.into()),
+                    (
+                        "tenant",
+                        job.tenant.as_deref().unwrap_or(DEFAULT_TENANT).into(),
+                    ),
+                ],
+            );
+        }
         let result = run_job(shared, id, &job, sequence);
         if result.is_err() {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
@@ -515,10 +612,19 @@ fn run_job(
     sequence: u64,
 ) -> Result<JobReport, ServeError> {
     let digest = job.binary_digest;
+    let trace = &shared.trace;
     // The job clock covers artifact resolution too, so first-submission
     // build latency (and gate waits) show up in the wall-time distribution.
     let start = Instant::now();
+    let mut job_span = trace
+        .span("serve.job", "job")
+        .arg("job", id.0)
+        .arg("tenant", job.tenant.as_deref().unwrap_or(DEFAULT_TENANT))
+        .arg("digest", format!("{digest:#018x}"));
     let hydrate = |pipeline: PipelineArtifacts| {
+        let _span = trace
+            .span("serve.job", "disk.hydrate")
+            .arg("digest", format!("{digest:#018x}"));
         let process = Process::load(&job.binary).map_err(|e| ServeError::Build {
             digest,
             reason: e.to_string(),
@@ -526,21 +632,26 @@ fn run_job(
         let prepared = PreparedDbm::new(process, &pipeline.schedule, shared.janus.dbm_config());
         Ok(Artifact::new(pipeline, prepared))
     };
-    let artifact = shared.cache.get_or_build(digest, hydrate, || {
-        let pipeline = shared
-            .janus
-            .prepare(&job.binary, &shared.config.train_input)
-            .map_err(|e| ServeError::Build {
+    let artifact = {
+        let _span = trace
+            .span("serve.job", "cache.probe")
+            .arg("digest", format!("{digest:#018x}"));
+        shared.cache.get_or_build(digest, hydrate, || {
+            let pipeline = shared
+                .janus
+                .prepare(&job.binary, &shared.config.train_input)
+                .map_err(|e| ServeError::Build {
+                    digest,
+                    reason: e.to_string(),
+                })?;
+            let process = Process::load(&job.binary).map_err(|e| ServeError::Build {
                 digest,
                 reason: e.to_string(),
             })?;
-        let process = Process::load(&job.binary).map_err(|e| ServeError::Build {
-            digest,
-            reason: e.to_string(),
-        })?;
-        let prepared = PreparedDbm::new(process, &pipeline.schedule, shared.janus.dbm_config());
-        Ok(Artifact::new(pipeline, prepared))
-    })?;
+            let prepared = PreparedDbm::new(process, &pipeline.schedule, shared.janus.dbm_config());
+            Ok(Artifact::new(pipeline, prepared))
+        })
+    }?;
 
     let mut config = shared.janus.dbm_config();
     if let Some(threads) = job.threads {
@@ -553,11 +664,21 @@ fn run_job(
         config.spec_commit = mode;
     }
 
-    let run = artifact
-        .prepared
-        .execute_with(&job.input, config)
-        .map_err(ServeError::Execution)?;
+    let exec_start = Instant::now();
+    let run = {
+        let _span = trace
+            .span("serve.job", "execute")
+            .arg("backend", format!("{:?}", config.backend))
+            .arg("threads", config.threads);
+        artifact.prepared.execute_traced(&job.input, config, trace)
+    }
+    .map_err(ServeError::Execution)?;
+    shared
+        .hist_execute
+        .record(u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
     let wall_nanos = start.elapsed().as_nanos() as u64;
+    shared.hist_job_wall.record(wall_nanos);
+    job_span.push_arg("cycles", run.cycles);
     shared.cost_model.observe(digest, wall_nanos);
     Ok(JobReport {
         id,

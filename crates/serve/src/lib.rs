@@ -139,6 +139,7 @@ pub use store::{ArtifactStore, STORE_FORMAT_VERSION};
 use janus_core::{BackendKind, Janus, SpecCommitMode};
 use janus_dbm::DbmError;
 use janus_ir::JBinary;
+use janus_obs::{LatencyStats, Recorder};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -181,6 +182,16 @@ pub struct ServeConfig {
     /// Per-tenant quota overrides, matched by the tenant name carried in
     /// [`JobSpec::tenant`].
     pub tenant_quotas: Vec<(String, TenantQuota)>,
+    /// The session's flight recorder. The default (disabled) recorder costs
+    /// one branch per would-be event; pass
+    /// [`Recorder::enabled`](janus_obs::Recorder::enabled) to collect
+    /// per-job spans (queue wait, cache probe, disk hydrate, execute),
+    /// store events and per-worker tracks, exportable as a Chrome trace,
+    /// JSONL or Prometheus text. The handle installs this recorder into its
+    /// pipeline and store, so one export covers the whole stack. Latency
+    /// histograms ([`ServeStats::job_wall`] and friends) are maintained
+    /// either way.
+    pub trace: Recorder,
 }
 
 impl Default for ServeConfig {
@@ -196,6 +207,7 @@ impl Default for ServeConfig {
             store_max_bytes: 0,
             default_quota: TenantQuota::default(),
             tenant_quotas: Vec::new(),
+            trace: Recorder::default(),
         }
     }
 }
@@ -412,6 +424,16 @@ pub struct ServeStats {
     pub jobs_running: u64,
     /// High-water mark of in-flight jobs (pending + running).
     pub max_in_flight_seen: u64,
+    /// End-to-end job latency quantiles (dequeue through execution,
+    /// including artifact resolution), from a log-bucketed histogram —
+    /// p50/p90/p99 are bucket upper bounds, never more than 2× the exact
+    /// value. Maintained whether or not tracing is enabled.
+    pub job_wall: LatencyStats,
+    /// Queue-wait quantiles: submission to dequeue by a worker.
+    pub job_queue_wait: LatencyStats,
+    /// Guest-execution quantiles: the [`PreparedDbm`](janus_core::PreparedDbm)
+    /// run alone, excluding artifact resolution.
+    pub job_execute: LatencyStats,
 }
 
 impl ServeStats {

@@ -61,6 +61,7 @@
 //! rebuilt without quarantine.
 
 use janus_core::{ArtifactDecodeError, PipelineArtifacts};
+use janus_obs::Recorder;
 use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
@@ -126,6 +127,10 @@ pub struct ArtifactStore {
     corrupt: AtomicU64,
     evicted_bytes: AtomicU64,
     store_errors: AtomicU64,
+    /// Flight recorder for store events (write / quarantine / evict).
+    /// Disabled by default; the serving session installs its own via
+    /// [`ArtifactStore::set_recorder`].
+    recorder: Recorder,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -196,7 +201,16 @@ impl ArtifactStore {
             corrupt: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
+            recorder: Recorder::default(),
         })
+    }
+
+    /// Installs the flight recorder store events are reported to. With an
+    /// enabled recorder, writes, evictions and corruption quarantines
+    /// surface as structured `serve.store` instants; quarantine notices
+    /// fall back to `stderr` otherwise — they are never silent.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 
     /// The directory this store persists into.
@@ -225,6 +239,16 @@ impl ArtifactStore {
             // The file vanished (another process may have raced us); there
             // is nothing left to preserve.
             let _ = fs::remove_file(path);
+        } else if self.recorder.is_enabled() {
+            self.recorder.instant(
+                "serve.store",
+                "store.quarantine",
+                &[
+                    ("digest", format!("{digest:#018x}").into()),
+                    ("reason", reason.into()),
+                    ("aside", aside.display().to_string().into()),
+                ],
+            );
         } else {
             // Quarantine is loud by design: an operator should know the
             // medium produced bytes that were never written.
@@ -377,6 +401,16 @@ impl ArtifactStore {
         })();
         match written {
             Ok(()) => {
+                if self.recorder.is_enabled() {
+                    self.recorder.instant(
+                        "serve.store",
+                        "store.write",
+                        &[
+                            ("digest", format!("{digest:#018x}").into()),
+                            ("bytes", body.len().into()),
+                        ],
+                    );
+                }
                 let mut state = self.state.lock().expect("store state poisoned");
                 state.entries.insert(
                     digest,
@@ -410,6 +444,16 @@ impl ArtifactStore {
             state.entries.remove(&digest);
             let _ = fs::remove_file(self.entry_path(digest));
             self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            if self.recorder.is_enabled() {
+                self.recorder.instant(
+                    "serve.store",
+                    "store.evict",
+                    &[
+                        ("digest", format!("{digest:#018x}").into()),
+                        ("bytes", bytes.into()),
+                    ],
+                );
+            }
         }
     }
 

@@ -227,3 +227,56 @@ fn per_job_thread_overrides_do_not_change_guest_results() {
     let stats = handle.stats();
     assert_eq!(stats.cache_misses, 1, "thread overrides share one artifact");
 }
+
+#[test]
+fn traced_session_exports_a_full_stack_chrome_trace() {
+    let binary = train_binary("429.mcf");
+    let janus = session_janus(BackendKind::from_env());
+    let handle = janus.serve(ServeConfig {
+        workers: 2,
+        trace: janus_obs::Recorder::enabled(),
+        ..ServeConfig::default()
+    });
+    for _ in 0..4 {
+        handle.submit(JobSpec::new(binary.clone())).unwrap();
+    }
+    let outcomes = handle.join();
+    assert!(outcomes.iter().all(|(_, r)| r.is_ok()));
+
+    // Stats expose histogram-backed latency quantiles.
+    let stats = handle.stats();
+    assert_eq!(stats.job_wall.count, 4);
+    assert_eq!(stats.job_queue_wait.count, 4);
+    assert_eq!(stats.job_execute.count, 4);
+    assert!(stats.job_wall.p50_nanos >= stats.job_execute.p50_nanos);
+    assert!(stats.job_wall.p99_nanos >= stats.job_wall.p50_nanos);
+
+    // The Chrome export is valid JSON carrying the serving layer's own
+    // spans, the core pipeline's, and per-worker track names.
+    let trace = handle.trace().chrome_trace();
+    let doc = janus_obs::json::parse(&trace).expect("chrome trace parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("traceEvents array");
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+        .collect();
+    for expected in ["job", "queue.wait", "cache.probe", "execute", "analysis"] {
+        assert!(names.contains(&expected), "missing span {expected:?}");
+    }
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+        .filter_map(|e| e.get("args")?.get("name")?.as_str())
+        .collect();
+    assert!(
+        track_names.iter().any(|n| n.starts_with("janus-serve-")),
+        "worker tracks registered: {track_names:?}"
+    );
+
+    // The same session also exports Prometheus text with the job series.
+    let prom = handle.trace().prometheus_text();
+    assert!(prom.contains("janus_serve_job_wall_nanos_count 4"));
+}

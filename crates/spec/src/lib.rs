@@ -124,7 +124,7 @@ pub use engine::{run_speculative, run_speculative_with_lanes, IterationRun, Spec
 pub use mv::{
     Incarnation, Iteration, MvMemory, MvStats, ReadOrigin, ReadResult, ReadSet, SpecView, ViewStats,
 };
-pub use pool::{run_speculative_pooled, PooledOutcome};
+pub use pool::{run_speculative_pooled, run_speculative_pooled_traced, PooledOutcome};
 pub use scheduler::{LaneSet, Lanes};
 
 use std::fmt;

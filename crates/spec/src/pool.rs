@@ -37,6 +37,7 @@ use crate::engine::{validate, IterationRun};
 use crate::mv::{MvMemory, ReadSet};
 use crate::scheduler::{Scheduler, Task};
 use crate::{SpecConfig, SpecError, SpecStats, SpecView};
+use janus_obs::Recorder;
 use janus_vm::PeekMemory;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -195,6 +196,39 @@ where
     E: Send,
     F: Fn(usize, &mut SpecView<'_, M>) -> Result<IterationRun<P>, E> + Sync,
 {
+    run_speculative_pooled_traced(
+        config,
+        threads,
+        base,
+        iterations,
+        body,
+        &Recorder::default(),
+    )
+}
+
+/// [`run_speculative_pooled`] with a flight recorder attached: each worker
+/// registers a `spec-worker-N` track and every incarnation emits
+/// `spec.execute`/`spec.validate` spans plus `spec.abort`/`spec.retry`
+/// instants (category `spec.pool`). With a disabled recorder this is
+/// byte-for-byte the untraced run — every recording call is one branch.
+///
+/// # Errors
+///
+/// Exactly as [`run_speculative_pooled`].
+pub fn run_speculative_pooled_traced<M, P, E, F>(
+    config: &SpecConfig,
+    threads: usize,
+    base: &M,
+    iterations: usize,
+    body: F,
+    recorder: &Recorder,
+) -> Result<PooledOutcome<P>, SpecError<E>>
+where
+    M: PeekMemory + Sync,
+    P: Send,
+    E: Send,
+    F: Fn(usize, &mut SpecView<'_, M>) -> Result<IterationRun<P>, E> + Sync,
+{
     if iterations == 0 {
         return Ok(PooledOutcome {
             stats: SpecStats::default(),
@@ -231,7 +265,7 @@ where
     let counters = RaceCounters::default();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for worker in 0..workers {
             let mv = &mv;
             let sched = &sched;
             let slots = &slots;
@@ -239,7 +273,11 @@ where
             let body = &body;
             let tasks = &tasks;
             let c = &counters;
+            let rec = recorder;
             scope.spawn(move || {
+                if rec.is_enabled() {
+                    rec.set_thread_track(&format!("spec-worker-{worker}"));
+                }
                 let mut stalled_polls = 0u64;
                 let mut last_seen_tasks = u64::MAX;
                 while !poison.stopped() && !sched.done() {
@@ -275,6 +313,10 @@ where
                         } => {
                             // Real Block-STM visibility: see everything
                             // recorded so far.
+                            let mut span = rec
+                                .span("spec.pool", "spec.execute")
+                                .arg("iteration", iteration)
+                                .arg("incarnation", incarnation);
                             let mut view = SpecView::new(base, mv, iteration, u64::MAX);
                             match body(iteration, &mut view) {
                                 Ok(run) => {
@@ -285,10 +327,21 @@ where
                                     if let Some(on) = blocked {
                                         c.estimate_stalls.fetch_add(1, Ordering::Relaxed);
                                         c.aborts.fetch_add(1, Ordering::Relaxed);
+                                        span.push_arg("outcome", "estimate-stall");
+                                        rec.instant(
+                                            "spec.pool",
+                                            "spec.abort",
+                                            &[
+                                                ("iteration", iteration.into()),
+                                                ("blocked_on", on.into()),
+                                                ("reason", "estimate-stall".into()),
+                                            ],
+                                        );
                                         sched.abort_on_dependency(iteration, on);
                                     } else {
                                         c.executions.fetch_add(1, Ordering::Relaxed);
                                         c.max_incarnation.fetch_max(incarnation, Ordering::Relaxed);
+                                        span.push_arg("outcome", "ok");
                                         let changed =
                                             mv.record(iteration, incarnation, &write_buffer, 0);
                                         {
@@ -304,6 +357,7 @@ where
                                 }
                                 Err(e) => {
                                     drop(view);
+                                    span.push_arg("outcome", "fault");
                                     // Fault classification under racing. A
                                     // fault on inconsistent speculative state
                                     // is a conflict artifact and must be
@@ -327,6 +381,15 @@ where
                                         Some(dep) => {
                                             c.aborts.fetch_add(1, Ordering::Relaxed);
                                             c.faults_retried.fetch_add(1, Ordering::Relaxed);
+                                            rec.instant(
+                                                "spec.pool",
+                                                "spec.retry",
+                                                &[
+                                                    ("iteration", iteration.into()),
+                                                    ("blocked_on", dep.into()),
+                                                    ("reason", "speculative-fault".into()),
+                                                ],
+                                            );
                                             sched.abort_on_dependency(iteration, dep);
                                         }
                                         None => {
@@ -338,10 +401,27 @@ where
                                                 slot.fault_streak
                                             };
                                             if iteration == 0 || streak >= MAX_FAULT_STREAK {
+                                                rec.instant(
+                                                    "spec.pool",
+                                                    "spec.abort",
+                                                    &[
+                                                        ("iteration", iteration.into()),
+                                                        ("reason", "genuine-fault".into()),
+                                                    ],
+                                                );
                                                 poison.set(SpecError::Body(e));
                                             } else {
                                                 c.aborts.fetch_add(1, Ordering::Relaxed);
                                                 c.faults_retried.fetch_add(1, Ordering::Relaxed);
+                                                rec.instant(
+                                                    "spec.pool",
+                                                    "spec.retry",
+                                                    &[
+                                                        ("iteration", iteration.into()),
+                                                        ("streak", streak.into()),
+                                                        ("reason", "consistent-fault".into()),
+                                                    ],
+                                                );
                                                 sched.abort_and_retry(iteration);
                                             }
                                         }
@@ -354,6 +434,10 @@ where
                             incarnation,
                         } => {
                             c.validations.fetch_add(1, Ordering::Relaxed);
+                            let mut span = rec
+                                .span("spec.pool", "spec.validate")
+                                .arg("iteration", iteration)
+                                .arg("incarnation", incarnation);
                             // Epoch first, then the reads: if a lower
                             // iteration re-records between the snapshot and
                             // the verdict, `finish_validation_ok` rejects
@@ -366,10 +450,19 @@ where
                                 .read_set
                                 .clone();
                             let ok = validate(mv, base, iteration, &read_set);
+                            span.push_arg("ok", ok);
                             if ok {
                                 let _ = sched.finish_validation_ok(iteration, incarnation, epoch);
                             } else if sched.try_validation_abort(iteration, incarnation) {
                                 c.aborts.fetch_add(1, Ordering::Relaxed);
+                                rec.instant(
+                                    "spec.pool",
+                                    "spec.abort",
+                                    &[
+                                        ("iteration", iteration.into()),
+                                        ("reason", "validation-fail".into()),
+                                    ],
+                                );
                                 // Estimates must be in place before the next
                                 // incarnation can be claimed.
                                 mv.convert_writes_to_estimates(iteration, 0);

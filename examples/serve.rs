@@ -14,8 +14,14 @@
 //! same directory and the second run serves every binary from disk with
 //! zero pipeline rebuilds (`--expect-warm` asserts exactly that).
 //!
+//! With `--trace-out FILE` the session runs with the flight recorder
+//! enabled and writes a Chrome trace-event JSON of the whole batch — per-job
+//! queue-wait/cache-probe/execute spans, the pipeline's analysis/schedule
+//! spans and per-worker tracks — loadable in Perfetto (`ui.perfetto.dev`)
+//! or `chrome://tracing`.
+//!
 //! Run with:
-//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N] [--store DIR [--expect-warm]]`
+//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N] [--store DIR [--expect-warm]] [--trace-out FILE]`
 
 use janus::core::{BackendKind, Janus, JanusConfig, PreparedDbm};
 use janus::serve::{JobSpec, ServeConfig, ServeSession};
@@ -30,11 +36,13 @@ mod flags;
 const NAMES: [&str; 3] = ["470.lbm", "459.GemsFDTD", "spec.histogram"];
 const JOBS_PER_BINARY: usize = 4;
 
-/// Parses the example's own `--store DIR` / `--expect-warm` flags (the
-/// shared parser ignores flags it does not know).
-fn store_flags() -> (Option<std::path::PathBuf>, bool) {
+/// Parses the example's own `--store DIR` / `--expect-warm` /
+/// `--trace-out FILE` flags (the shared parser ignores flags it does not
+/// know).
+fn store_flags() -> (Option<std::path::PathBuf>, bool, Option<std::path::PathBuf>) {
     let mut store = None;
     let mut expect_warm = false;
+    let mut trace_out = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +54,13 @@ fn store_flags() -> (Option<std::path::PathBuf>, bool) {
                 store = Some(std::path::PathBuf::from(dir));
             }
             "--expect-warm" => expect_warm = true,
+            "--trace-out" => {
+                let file = args.next().unwrap_or_else(|| {
+                    eprintln!("--trace-out expects a file path");
+                    std::process::exit(2);
+                });
+                trace_out = Some(std::path::PathBuf::from(file));
+            }
             _ => {}
         }
     }
@@ -53,12 +68,12 @@ fn store_flags() -> (Option<std::path::PathBuf>, bool) {
         eprintln!("--expect-warm requires --store DIR");
         std::process::exit(2);
     }
-    (store, expect_warm)
+    (store, expect_warm, trace_out)
 }
 
 fn main() {
     let (backend, threads) = flags::parse(4);
-    let (store_dir, expect_warm) = store_flags();
+    let (store_dir, expect_warm, trace_out) = store_flags();
     let janus = Janus::with_config(JanusConfig {
         threads,
         backend,
@@ -99,9 +114,15 @@ fn main() {
 
     // The serving session: 4 workers, every binary submitted several times,
     // alternating the execution backend per job.
+    let trace = if trace_out.is_some() {
+        janus::obs::Recorder::enabled()
+    } else {
+        janus::obs::Recorder::default()
+    };
     let handle = janus.serve(ServeConfig {
         workers: 4,
         store_dir: store_dir.clone(),
+        trace: trace.clone(),
         ..ServeConfig::default()
     });
     // One spec per binary (the content digest is computed once in
@@ -167,6 +188,39 @@ fn main() {
             stats.disk_hits,
             stats.disk_misses,
             stats.disk_corrupt,
+        );
+    }
+    println!(
+        "latency: queue-wait p50 {:.6}s p99 {:.6}s, execute p50 {:.6}s, job p50 {:.6}s p99 {:.6}s",
+        stats.job_queue_wait.p50_seconds(),
+        stats.job_queue_wait.p99_seconds(),
+        stats.job_execute.p50_seconds(),
+        stats.job_wall.p50_seconds(),
+        stats.job_wall.p99_seconds(),
+    );
+    if let Some(path) = &trace_out {
+        let json = trace.chrome_trace();
+        // Self-check before writing: the export must be valid JSON and
+        // carry the serving spans a reader will look for.
+        let doc = janus::obs::json::parse(&json).expect("chrome trace is valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        for span in ["queue.wait", "cache.probe", "execute", "analysis"] {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(span)),
+                "trace is missing {span:?} events"
+            );
+        }
+        std::fs::write(path, &json).expect("write chrome trace");
+        println!(
+            "trace: {} events ({} dropped) -> {} (load in ui.perfetto.dev)",
+            trace.len(),
+            trace.dropped(),
+            path.display(),
         );
     }
     if expect_warm {

@@ -16,6 +16,10 @@
 //! * [`serve`] — the multi-tenant serving layer: two-tier content-addressed
 //!   artifact cache (memory LRU over a persistent disk store) plus a fair
 //!   job executor with tenant quotas and deadline admission.
+//! * [`obs`] — the flight recorder: structured tracing spans, latency
+//!   histograms, and Chrome-trace/JSONL/Prometheus exporters, threaded
+//!   through the serving and execution stack behind
+//!   [`serve::ServeConfig::trace`] / [`core::JanusConfig::trace`].
 //! * [`workloads`] — the synthetic SPEC-like benchmark programs.
 //!
 //! `docs/ARCHITECTURE.md` in the repository is the systems-level tour of
@@ -73,6 +77,7 @@ pub use janus_compile as compile;
 pub use janus_core as core;
 pub use janus_dbm as dbm;
 pub use janus_ir as ir;
+pub use janus_obs as obs;
 pub use janus_profile as profile;
 pub use janus_schedule as schedule;
 pub use janus_serve as serve;
