@@ -100,7 +100,13 @@ fn bench_json(threads: u32) {
     // artifact store, then again by a restarted session over the populated
     // one — persistence's restart payoff (zero rebuilds) on record.
     let warm = bench::serve_warm_start(backend, 4);
-    let json = bench::backend_bench_json(&rows, threads, Some(&serve), Some(&warm));
+    // The adaptive-execution figure: every workload with the per-loop tuner
+    // off and on, so the trajectory records what runtime adaptation buys in
+    // wall time (gain > 1) and that no workload pays for it (gain ≈ 1 when
+    // the tuner settles on the static policy).
+    let adaptive = bench::adaptive_bench(backend, threads);
+    let json =
+        bench::backend_bench_json(&rows, threads, Some(&serve), Some(&warm), Some(&adaptive));
     let path = format!("BENCH_{}.json", backend.label());
     std::fs::write(&path, &json).expect("write benchmark json");
     println!(
@@ -146,6 +152,27 @@ fn bench_json(threads: u32) {
         warm.warm_disk_hits,
         warm.warm_speedup,
         warm.store_bytes,
+    );
+    println!(
+        "\n{:<22} {:>12} {:>12} {:>7} {:>9} {:>9} {:>10} {:>6}",
+        "adaptive", "static (s)", "tuned (s)", "gain", "tune.par", "tune.seq", "pg.skip", "match"
+    );
+    for r in &adaptive {
+        println!(
+            "{:<22} {:>12.4} {:>12.4} {:>7.2} {:>9} {:>9} {:>10} {:>6}",
+            r.name,
+            r.static_wall_seconds,
+            r.adaptive_wall_seconds,
+            r.adaptive_gain,
+            r.tune_parallel,
+            r.tune_sequential,
+            r.pages_skipped,
+            if r.outputs_match { "yes" } else { "NO" },
+        );
+    }
+    println!(
+        "adaptive geomean gain: {:.3}x",
+        bench::geomean(&adaptive.iter().map(|r| r.adaptive_gain).collect::<Vec<_>>())
     );
 }
 

@@ -460,6 +460,76 @@ pub fn backend_bench(backend: BackendKind, threads: u32) -> Vec<BackendBenchRow>
         .collect()
 }
 
+/// One row of the adaptive-execution section of `BENCH_<backend>.json`:
+/// the same workload run with the per-loop tuner off and on, so the
+/// trajectory records what runtime adaptation buys (or costs) in wall
+/// time per workload.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveBenchRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Backend both runs executed under.
+    pub backend: BackendKind,
+    /// Wall-clock seconds of the run with adaptation off (static policy).
+    pub static_wall_seconds: f64,
+    /// Wall-clock seconds of the run with the tuner on.
+    pub adaptive_wall_seconds: f64,
+    /// `static_wall_seconds / adaptive_wall_seconds` — > 1 means the tuner
+    /// paid for itself on this workload.
+    pub adaptive_gain: f64,
+    /// Tuner decisions that chose (or kept) parallel execution.
+    pub tune_parallel: u64,
+    /// Tuner decisions that routed an invocation down the sequential path.
+    pub tune_sequential: u64,
+    /// Mapped pages the page-aware merge skipped across the adaptive run.
+    pub pages_skipped: u64,
+    /// Whether the adaptive run reproduced the native output.
+    pub outputs_match: bool,
+}
+
+/// Runs every parallelisable and speculative workload twice under
+/// `backend` — adaptation off, then on — and returns one comparison row
+/// per workload: the data behind the `adaptive` section of
+/// `BENCH_<backend>.json`. Under the virtual-time backend both walls are
+/// near-zero dispatch overhead and the gain is noise; the section earns
+/// its keep on the native backend, where the tuner's sequential fallbacks
+/// and the page-aware merge move real wall time.
+#[must_use]
+pub fn adaptive_bench(backend: BackendKind, threads: u32) -> Vec<AdaptiveBenchRow> {
+    parallel_benchmarks()
+        .into_iter()
+        .chain(speculative_benchmarks())
+        .map(|name| {
+            let binary = compile_ref(name, CompileOptions::gcc_o3());
+            let run = |adaptive: bool| {
+                Janus::with_config(JanusConfig {
+                    threads,
+                    backend,
+                    adaptive,
+                    ..JanusConfig::default()
+                })
+                .run(&binary, &[])
+                .expect("pipeline succeeds")
+            };
+            let fixed = run(false);
+            let tuned = run(true);
+            let static_wall_seconds = fixed.wall_seconds();
+            let adaptive_wall_seconds = tuned.wall_seconds();
+            AdaptiveBenchRow {
+                name,
+                backend,
+                static_wall_seconds,
+                adaptive_wall_seconds,
+                adaptive_gain: static_wall_seconds / adaptive_wall_seconds.max(1e-9),
+                tune_parallel: tuned.tune_parallel_decisions(),
+                tune_sequential: tuned.tune_sequential_decisions(),
+                pages_skipped: tuned.merge_pages_skipped(),
+                outputs_match: fixed.outputs_match && tuned.outputs_match,
+            }
+        })
+        .collect()
+}
+
 /// The serving-layer throughput figure: a mixed batch of jobs over the
 /// whole workload suite pushed through one `janus-serve` session, recorded
 /// per commit in `BENCH_<backend>.json` so the trajectory tracks serving
@@ -765,15 +835,17 @@ pub fn serve_warm_start(backend: BackendKind, workers: usize) -> ServeWarmStartR
     }
 }
 
-/// Renders backend-bench rows — plus optional serving-throughput and
-/// warm-start sections — as a JSON document (no external dependencies; the
-/// format is flat and append-friendly for trend tooling).
+/// Renders backend-bench rows — plus optional serving-throughput,
+/// warm-start and adaptive-execution sections — as a JSON document (no
+/// external dependencies; the format is flat and append-friendly for
+/// trend tooling).
 #[must_use]
 pub fn backend_bench_json(
     rows: &[BackendBenchRow],
     threads: u32,
     serve: Option<&ServeThroughputRow>,
     warm: Option<&ServeWarmStartRow>,
+    adaptive: Option<&[AdaptiveBenchRow]>,
 ) -> String {
     let mut out = String::from("{\n");
     let backend = rows.first().map_or("unknown", |r| r.backend.label());
@@ -837,6 +909,31 @@ pub fn backend_bench_json(
             w.failures,
         ));
     }
+    if let Some(rows) = adaptive.filter(|rows| !rows.is_empty()) {
+        let mut section = format!(
+            "  \"adaptive\": {{\"geomean_gain\": {:.6}, \"workloads\": [\n",
+            geomean(&rows.iter().map(|r| r.adaptive_gain).collect::<Vec<_>>())
+        );
+        for (i, r) in rows.iter().enumerate() {
+            section.push_str(&format!(
+                "    {{\"name\": \"{}\", \"static_wall_seconds\": {:.6}, \
+                 \"adaptive_wall_seconds\": {:.6}, \"adaptive_gain\": {:.3}, \
+                 \"tune_parallel\": {}, \"tune_sequential\": {}, \
+                 \"pages_skipped\": {}, \"outputs_match\": {}}}{}\n",
+                r.name,
+                r.static_wall_seconds,
+                r.adaptive_wall_seconds,
+                r.adaptive_gain,
+                r.tune_parallel,
+                r.tune_sequential,
+                r.pages_skipped,
+                r.outputs_match,
+                if i + 1 == rows.len() { "" } else { "," },
+            ));
+        }
+        section.push_str("  ]}");
+        sections.push(section);
+    }
     if sections.is_empty() {
         out.push_str("  ]\n}\n");
     } else {
@@ -895,7 +992,7 @@ mod tests {
                 outputs_match: true,
             },
         ];
-        let json = backend_bench_json(&rows, 8, None, None);
+        let json = backend_bench_json(&rows, 8, None, None, None);
         assert!(json.contains("\"backend\": \"native\""));
         assert!(json.contains("\"threads\": 8"));
         assert!(json.contains("\"name\": \"470.lbm\""));
@@ -920,7 +1017,7 @@ mod tests {
             p99_job_seconds: 0.05,
             failures: 0,
         };
-        let json = backend_bench_json(&rows, 8, Some(&serve), None);
+        let json = backend_bench_json(&rows, 8, Some(&serve), None, None);
         assert!(json.contains("\"serve_throughput\""));
         assert!(json.contains("\"jobs\": 200"));
         assert!(json.contains("\"cache_hit_rate\": 0.935000"));
@@ -943,10 +1040,58 @@ mod tests {
             store_bytes: 4096,
             failures: 0,
         };
-        let json = backend_bench_json(&rows, 8, Some(&serve), Some(&warm));
+        let json = backend_bench_json(&rows, 8, Some(&serve), Some(&warm), None);
         assert!(json.contains("\"serve_warm_start\""));
         assert!(json.contains("\"warm_misses\": 0"));
         assert!(json.contains("\"store_bytes\": 4096"));
+        assert!(
+            json.matches('{').count() == json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+
+        // And with every section present, including the adaptive one.
+        let adaptive = [
+            AdaptiveBenchRow {
+                name: "470.lbm",
+                backend: BackendKind::NativeThreads,
+                static_wall_seconds: 0.5,
+                adaptive_wall_seconds: 0.4,
+                adaptive_gain: 1.25,
+                tune_parallel: 40,
+                tune_sequential: 2,
+                pages_skipped: 1024,
+                outputs_match: true,
+            },
+            AdaptiveBenchRow {
+                name: "433.milc",
+                backend: BackendKind::NativeThreads,
+                static_wall_seconds: 0.2,
+                adaptive_wall_seconds: 0.2,
+                adaptive_gain: 1.0,
+                tune_parallel: 0,
+                tune_sequential: 12,
+                pages_skipped: 0,
+                outputs_match: true,
+            },
+        ];
+        let json = backend_bench_json(&rows, 8, Some(&serve), Some(&warm), Some(&adaptive));
+        assert!(json.contains("\"adaptive\""));
+        assert!(json.contains("\"geomean_gain\""));
+        assert!(json.contains("\"tune_sequential\": 12"));
+        assert!(json.contains("\"pages_skipped\": 1024"));
+        assert!(
+            json.matches('{').count() == json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+        assert!(
+            json.matches('[').count() == json.matches(']').count(),
+            "balanced brackets:\n{json}"
+        );
+
+        // The adaptive section alone (no serving sections) also closes the
+        // workloads array correctly.
+        let json = backend_bench_json(&rows, 8, None, None, Some(&adaptive));
+        assert!(json.contains("\"adaptive\""));
         assert!(
             json.matches('{').count() == json.matches('}').count(),
             "balanced braces:\n{json}"

@@ -28,7 +28,7 @@
 #![warn(missing_debug_implementations)]
 
 use janus_analysis::{analyze, AnalysisError, BinaryAnalysis, LoopCategory, LoopInfo, VarRef};
-use janus_dbm::{Dbm, DbmConfig, DbmError, DbmRunResult};
+use janus_dbm::{Dbm, DbmError, DbmRunResult};
 use janus_ir::{Cond, JBinary};
 use janus_obs::Recorder;
 use janus_profile::{generate_profiling_schedule, profile, ProfileData};
@@ -36,7 +36,7 @@ use janus_schedule::{RewriteRule, RewriteSchedule, RuleId};
 use janus_vm::{Process, RunResult, Vm, VmError};
 use std::fmt;
 
-pub use janus_dbm::{BackendKind, PreparedDbm, SideSpec, SpecCommitMode, VarSpec};
+pub use janus_dbm::{BackendKind, DbmConfig, PreparedDbm, SideSpec, SpecCommitMode, VarSpec};
 
 /// The optimisation levels evaluated in the paper's Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -108,6 +108,14 @@ pub struct JanusConfig {
     /// (conservative even where the seed pipeline would have chunked an
     /// unknown-access loop without verifying its independence).
     pub speculation: bool,
+    /// Adaptive execution: let the DBM's per-loop tuner pick sequential vs
+    /// parallel execution and the chunk count from measured wall time
+    /// (see [`DbmConfig::adaptive`]). Guest results and `outputs_match` are
+    /// unaffected; modelled cycles may differ when the tuner retargets a
+    /// chunk count, so figure reproduction keeps this off. `false` here
+    /// still honours the `JANUS_ADAPTIVE` environment variable through
+    /// [`DbmConfig::default`]; setting it `true` forces adaptation on.
+    pub adaptive: bool,
     /// Overrides for the DBM cost model.
     pub dbm: DbmConfig,
     /// Flight recorder the pipeline and the execution backends emit
@@ -129,6 +137,7 @@ impl Default for JanusConfig {
             mode: OptimisationMode::Full,
             coverage_threshold: 0.02,
             speculation: true,
+            adaptive: false,
             dbm: DbmConfig::default(),
             trace: Recorder::default(),
         }
@@ -509,6 +518,28 @@ impl JanusReport {
     pub fn parallel_wall_seconds(&self) -> f64 {
         self.parallel.stats.parallel_wall_nanos as f64 / 1e9
     }
+
+    /// Adaptive-tuner decisions that chose (or kept) parallel execution.
+    /// 0 when adaptation was off for the run.
+    #[must_use]
+    pub fn tune_parallel_decisions(&self) -> u64 {
+        self.parallel.stats.tune_parallel_decisions
+    }
+
+    /// Adaptive-tuner decisions that sent a parallelisable invocation down
+    /// the sequential path because parallelism was not paying for itself.
+    #[must_use]
+    pub fn tune_sequential_decisions(&self) -> u64 {
+        self.parallel.stats.tune_sequential_decisions
+    }
+
+    /// Mapped guest pages the page-aware overlay merge skipped (no chunk
+    /// dirtied them), summed over parallel invocations. 0 under the
+    /// virtual-time backend.
+    #[must_use]
+    pub fn merge_pages_skipped(&self) -> u64 {
+        self.parallel.stats.merge_pages_skipped
+    }
 }
 
 /// The Janus automatic binary paralleliser.
@@ -783,6 +814,7 @@ impl Janus {
             backend: self.config.backend,
             enable_runtime_checks: self.config.mode.uses_runtime_checks(),
             enable_speculation: self.config.speculation && self.config.dbm.enable_speculation,
+            adaptive: self.config.adaptive || self.config.dbm.adaptive,
             ..self.config.dbm
         }
     }

@@ -9,7 +9,7 @@
 //! OS-thread statistics the native backend adds on top.
 
 use janus_compile::{CompileOptions, Compiler};
-use janus_core::{BackendKind, Janus, JanusConfig, JanusReport};
+use janus_core::{BackendKind, DbmConfig, Janus, JanusConfig, JanusReport};
 use janus_ir::JBinary;
 use janus_workloads::{parallel_benchmarks, speculative_benchmarks, workload};
 
@@ -21,9 +21,17 @@ fn train_binary(name: &str) -> JBinary {
 }
 
 fn run(binary: &JBinary, backend: BackendKind, threads: u32) -> JanusReport {
+    // Modelled-cycle invariance is a *static-policy* contract: the adaptive
+    // tuner may legitimately retarget chunk counts from wall-time evidence,
+    // so pin it off here even when JANUS_ADAPTIVE is set (the adaptive CI
+    // leg). `adaptive_equivalence.rs` covers the tuner-on guarantees.
     Janus::with_config(JanusConfig {
         threads,
         backend,
+        dbm: DbmConfig {
+            adaptive: false,
+            ..DbmConfig::default()
+        },
         ..JanusConfig::default()
     })
     .run(binary, &[])

@@ -23,6 +23,9 @@ fn run(name: &str, commit: SpecCommitMode) -> JanusReport {
         backend: BackendKind::NativeThreads,
         dbm: DbmConfig {
             spec_commit: commit,
+            // The cycles comparison between commit modes assumes the static
+            // chunking policy; keep the tuner out even under JANUS_ADAPTIVE.
+            adaptive: false,
             ..DbmConfig::default()
         },
         ..JanusConfig::default()

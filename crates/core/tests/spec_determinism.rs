@@ -10,7 +10,7 @@
 //! exercises estimates, dependency wakeups and re-execution on every run.
 
 use janus_compile::{CompileOptions, Compiler};
-use janus_core::{BackendKind, Janus, JanusConfig, JanusReport};
+use janus_core::{BackendKind, DbmConfig, Janus, JanusConfig, JanusReport};
 use janus_ir::JBinary;
 use janus_workloads::workload;
 
@@ -22,9 +22,16 @@ fn compile_once() -> JBinary {
 }
 
 fn run_native(binary: &JBinary, threads: u32) -> JanusReport {
+    // Bit-identical repeats are a static-policy contract: the adaptive
+    // tuner folds measured wall time into its decisions, which is
+    // legitimately run-dependent. Pin it off even under JANUS_ADAPTIVE=1.
     Janus::with_config(JanusConfig {
         threads,
         backend: BackendKind::NativeThreads,
+        dbm: DbmConfig {
+            adaptive: false,
+            ..DbmConfig::default()
+        },
         ..JanusConfig::default()
     })
     .run(binary, &[])

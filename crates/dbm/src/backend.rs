@@ -37,7 +37,10 @@ use crate::runtime::LoopRt;
 use crate::{DbmConfig, DbmError, Result, SpecCommitMode};
 use janus_obs::Recorder;
 use janus_spec::{IterationRun, LaneSet, Lanes, SpecConfig, SpecError, SpecOutcome, SpecView};
-use janus_vm::{CowMemory, Cpu, FlatMemory, GuestMemory, OverlayWrite, Process};
+use janus_vm::{
+    merge_chunk_overlays, ChunkOverlay, CowMemory, Cpu, FlatMemory, GuestMemory, MergeStats,
+    Process,
+};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::time::Instant;
@@ -300,6 +303,9 @@ pub struct BatchOutcome {
     pub wall_nanos: u64,
     /// OS worker threads spawned for the batch (0 under virtual time).
     pub os_threads: u64,
+    /// What the page-aware overlay merge did (all-zero under virtual time,
+    /// which writes straight to shared memory and has nothing to merge).
+    pub merge: MergeStats,
 }
 
 /// What a routed speculative invocation returned, plus its wall-clock cost.
@@ -441,6 +447,7 @@ impl ExecutionBackend for VirtualTimeBackend {
             parallel_cycles,
             wall_nanos: 0,
             os_threads: 0,
+            merge: MergeStats::default(),
         })
     }
 
@@ -491,13 +498,7 @@ impl ExecutionBackend for NativeThreadsBackend {
         mem: &mut FlatMemory,
         cache: &mut CodeCache,
     ) -> Result<BatchOutcome> {
-        type WorkerOut = Result<(
-            Cpu,
-            u64,
-            Vec<OverlayWrite>,
-            ChunkSideEffects,
-            DeferredAccounting,
-        )>;
+        type WorkerOut = Result<(Cpu, u64, ChunkOverlay, ChunkSideEffects, DeferredAccounting)>;
         // STM-wrapped shared-library calls may carry real cross-chunk
         // read-after-write dependences (that is exactly why they run under a
         // transaction). Snapshot isolation cannot reproduce the sequential
@@ -536,7 +537,7 @@ impl ExecutionBackend for NativeThreadsBackend {
                             plan.bound,
                             &mut effects,
                         )?;
-                        Ok((cpu, exit_pc, overlay.into_writes(), effects, accounting))
+                        Ok((cpu, exit_pc, overlay.into_pages(), effects, accounting))
                     })
                 })
                 .collect();
@@ -553,21 +554,32 @@ impl ExecutionBackend for NativeThreadsBackend {
         // (later chunks win on whole-byte overlaps, which a legal DOALL
         // cannot produce) and code-cache charges replay sequentially,
         // matching the sequential chunk order — and therefore the exact
-        // cycle totals — of the virtual-time backend.
+        // cycle totals — of the virtual-time backend. The memory merge is
+        // page-aware: untouched base pages are skipped outright and large
+        // dirty sets merge on worker threads (page-disjoint, still in chunk
+        // order within each page), all of which is wall-time-only — the
+        // merged image is bit-identical to the word-by-word replay.
         let merge_span = ctx
             .recorder
             .span("dbm.chunk", "chunk.merge")
             .arg("chunks", plans.len());
         let mut results = Vec::with_capacity(plans.len());
         let mut effects = ChunkSideEffects::default();
+        let mut overlays = Vec::with_capacity(plans.len());
         for out in worker_outs {
-            let (cpu, exit_pc, writes, chunk_effects, accounting) = out?;
-            CowMemory::apply_writes(mem, &writes);
+            let (cpu, exit_pc, overlay, chunk_effects, accounting) = out?;
+            overlays.push(overlay);
             effects.absorb(chunk_effects);
             accounting.replay(cache, ctx.config, &mut effects);
             results.push(ChunkResult { cpu, exit_pc });
         }
-        drop(merge_span);
+        let merge = merge_chunk_overlays(mem, &overlays, ctx.config.threads as usize);
+        drop(
+            merge_span
+                .arg("pages_merged", merge.pages_merged)
+                .arg("pages_skipped", merge.pages_skipped)
+                .arg("merge_threads", merge.merge_threads),
+        );
         let parallel_cycles = modelled_parallel_cycles(ctx.config.threads, &results);
         Ok(BatchOutcome {
             results,
@@ -575,6 +587,7 @@ impl ExecutionBackend for NativeThreadsBackend {
             parallel_cycles,
             wall_nanos: start.elapsed().as_nanos() as u64,
             os_threads: plans.len() as u64,
+            merge,
         })
     }
 

@@ -79,12 +79,14 @@
 mod backend;
 mod runtime;
 mod stm;
+mod tuner;
 
 pub use backend::{
     BackendKind, BatchOutcome, ExecutionBackend, NativeThreadsBackend, VirtualTimeBackend,
 };
 pub use runtime::{Dbm, DbmRunResult, PreparedDbm, SideSpec, VarSpec};
 pub use stm::TxStats;
+pub use tuner::{TuneDecision, TuneOutcome, Tuner};
 
 use std::fmt;
 
@@ -227,6 +229,14 @@ pub struct DbmConfig {
     pub min_iterations_per_thread: u64,
     /// Abort execution after this many virtual cycles.
     pub cycle_limit: u64,
+    /// Adaptive execution: let a per-loop [`Tuner`] pick sequential vs
+    /// parallel execution and the chunk count from measured wall time, so no
+    /// loop keeps paying for parallelism that does not pay for itself.
+    /// Wall-time-only — guest results are identical either way, and with the
+    /// knob off (the default) planning is untouched, keeping modelled
+    /// figures bit-identical to previous releases. Defaults to the
+    /// `JANUS_ADAPTIVE` environment variable (`1`/`true` to enable).
+    pub adaptive: bool,
 }
 
 impl Default for DbmConfig {
@@ -251,8 +261,22 @@ impl Default for DbmConfig {
             spec_commit: SpecCommitMode::default(),
             min_iterations_per_thread: 1,
             cycle_limit: 200_000_000_000,
+            adaptive: adaptive_from_env(),
         }
     }
+}
+
+/// Whether the `JANUS_ADAPTIVE` environment variable asks for adaptive
+/// execution (`1`, `true`, `yes` or `on`, case-insensitive).
+fn adaptive_from_env() -> bool {
+    std::env::var("JANUS_ADAPTIVE")
+        .map(|v| {
+            matches!(
+                v.trim().to_ascii_lowercase().as_str(),
+                "1" | "true" | "yes" | "on"
+            )
+        })
+        .unwrap_or(false)
 }
 
 impl DbmConfig {
@@ -394,6 +418,21 @@ pub struct DbmStats {
     /// Only the native-threads backend measures this; the virtual-time
     /// backend reports 0 so its output stays bit-reproducible.
     pub parallel_wall_nanos: u64,
+    /// Adaptive-tuner decisions that chose (or kept) parallel execution.
+    /// Stays at 0 when [`DbmConfig::adaptive`] is off.
+    pub tune_parallel_decisions: u64,
+    /// Adaptive-tuner decisions that sent an otherwise-parallelisable
+    /// invocation down the sequential path because parallelism was not
+    /// paying for itself. Not counted in
+    /// [`DbmStats::sequential_fallbacks`], which keeps its historical
+    /// meaning (failed bounds checks / too few iterations).
+    pub tune_sequential_decisions: u64,
+    /// Mapped guest pages the page-aware overlay merge skipped because no
+    /// chunk dirtied them, summed over parallel invocations. 0 under the
+    /// virtual-time backend (no overlays to merge).
+    pub merge_pages_skipped: u64,
+    /// Pages the overlay merge actually visited, summed over invocations.
+    pub merge_pages_merged: u64,
 }
 
 impl DbmStats {

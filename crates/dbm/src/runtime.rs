@@ -5,6 +5,7 @@
 
 use crate::backend::{BlockAccounting, ChunkContext, ChunkPlan, ChunkSideEffects, CodeCache};
 use crate::stm::TxView;
+use crate::tuner::{TuneDecision, Tuner};
 use crate::{DbmConfig, DbmError, DbmStats, Result};
 use janus_ir::{Inst, Operand, Reg, SyscallNum, INST_SIZE, STACK_SIZE};
 use janus_obs::Recorder;
@@ -337,7 +338,42 @@ pub struct Dbm {
     output_floats: Vec<f64>,
     input: VecDeque<i64>,
     exit_code: i64,
+
+    /// Adaptive-execution state, present iff [`DbmConfig::adaptive`] is on.
+    tuner: Option<Tuner>,
+    /// Loops the tuner sent down the sequential path whose wall time is
+    /// still being measured: completed (and fed back) when the main thread
+    /// reaches the loop's `LOOP_FINISH` rule.
+    pending_seq: HashMap<usize, PendingSequential>,
+    /// Pace-calibration markers: the main thread's sequential cycle count,
+    /// parallel-region wall total and wall-clock instant at the last
+    /// calibration point. The stretch between two parallel-candidate loop
+    /// headers is sequential dispatch plus parallel regions; subtracting
+    /// the latter yields wall-per-sequential-cycle samples for the tuner.
+    cal: Option<PaceMarkers>,
 }
+
+/// A tuner-decided sequential invocation in flight (see
+/// [`Dbm::try_parallel_loop`]).
+#[derive(Debug)]
+struct PendingSequential {
+    started: Instant,
+    iterations: u64,
+    predicted_nanos: Option<u64>,
+    probe: bool,
+}
+
+/// Snapshot markers for pace calibration.
+#[derive(Debug, Clone, Copy)]
+struct PaceMarkers {
+    wall: Instant,
+    seq_cycles: u64,
+    parallel_wall: u64,
+}
+
+/// Minimum sequential cycles between pace samples — stretches shorter than
+/// this are dominated by timer noise and dispatch-loop bookkeeping.
+const PACE_MIN_CYCLES: u64 = 10_000;
 
 impl Dbm {
     /// Creates a DBM for `process`, controlled by `schedule`.
@@ -374,6 +410,9 @@ impl Dbm {
             output_floats: Vec::new(),
             input: VecDeque::new(),
             exit_code: 0,
+            tuner: config.adaptive.then(Tuner::new),
+            pending_seq: HashMap::new(),
+            cal: None,
         }
     }
 
@@ -420,7 +459,9 @@ impl Dbm {
                 for rule in self.prepared.parts.index.at(pc).to_vec() {
                     match rule.id {
                         RuleId::LoopFinish => {
-                            self.active_sequential.remove(&rule.loop_id());
+                            let loop_id = rule.loop_id();
+                            self.active_sequential.remove(&loop_id);
+                            self.complete_sequential_sample(loop_id);
                         }
                         RuleId::LoopInit => {
                             let loop_id = rule.loop_id();
@@ -585,12 +626,79 @@ impl Dbm {
         }
     }
 
+    /// Feeds one pace-calibration sample to the tuner: wall time per
+    /// modelled sequential cycle, measured over the stretch since the last
+    /// calibration point with parallel-region wall time subtracted. Called
+    /// at every parallel-candidate loop header (adaptive runs only).
+    fn calibrate_pace(&mut self) {
+        let Some(tuner) = self.tuner.as_mut() else {
+            return;
+        };
+        let now = Instant::now();
+        let Some(mark) = self.cal else {
+            self.cal = Some(PaceMarkers {
+                wall: now,
+                seq_cycles: self.main.cycles,
+                parallel_wall: self.stats.parallel_wall_nanos,
+            });
+            return;
+        };
+        let seq_delta = self.main.cycles.saturating_sub(mark.seq_cycles);
+        if seq_delta < PACE_MIN_CYCLES {
+            // Too short to time; keep accumulating against the old markers.
+            return;
+        }
+        let wall_delta = now.duration_since(mark.wall).as_nanos() as u64;
+        let parallel_delta = self
+            .stats
+            .parallel_wall_nanos
+            .saturating_sub(mark.parallel_wall);
+        tuner.observe_pace(seq_delta, wall_delta.saturating_sub(parallel_delta));
+        self.cal = Some(PaceMarkers {
+            wall: now,
+            seq_cycles: self.main.cycles,
+            parallel_wall: self.stats.parallel_wall_nanos,
+        });
+    }
+
+    /// Completes the wall-time measurement of a tuner-decided sequential
+    /// invocation when the main thread reaches the loop's `LOOP_FINISH`.
+    fn complete_sequential_sample(&mut self, loop_id: usize) {
+        let Some(pending) = self.pending_seq.remove(&loop_id) else {
+            return;
+        };
+        let measured = pending.started.elapsed().as_nanos() as u64;
+        if let Some(tuner) = self.tuner.as_mut() {
+            tuner.observe_sequential(loop_id, pending.iterations, measured);
+        }
+        self.recorder.instant(
+            "dbm.tune",
+            "tune.decision",
+            &[
+                ("loop", loop_id.into()),
+                ("backend", "sequential".into()),
+                ("chunks", 0u64.into()),
+                ("iterations", pending.iterations.into()),
+                (
+                    "predicted_nanos",
+                    pending.predicted_nanos.map_or(
+                        janus_obs::ArgValue::Str("none".to_string()),
+                        janus_obs::ArgValue::U64,
+                    ),
+                ),
+                ("measured_nanos", measured.into()),
+                ("probe", pending.probe.into()),
+            ],
+        );
+    }
+
     /// Attempts to run one invocation of loop `loop_id` in parallel.
     ///
     /// Returns `true` if the loop was executed (main's context has been
     /// updated and `main.pc` points after the loop), or `false` if this
     /// invocation must run sequentially.
     fn try_parallel_loop(&mut self, loop_id: usize) -> Result<bool> {
+        self.calibrate_pace();
         let lr = self
             .prepared
             .parts
@@ -661,14 +769,47 @@ impl Dbm {
             return Ok(false);
         }
 
+        // Adaptive execution: ask the tuner whether this invocation should
+        // run in parallel at all, and into how many chunks. A Sequential
+        // decision starts a wall-time measurement that completes at the
+        // loop's LOOP_FINISH (the caller marks the loop active-sequential);
+        // a Parallel decision may retarget the chunk count away from the
+        // configured thread count. Wall-time-only policy — guest results
+        // are identical either way.
+        let mut chunk_target = threads;
+        let mut tune = None;
+        if let Some(tuner) = self.tuner.as_mut() {
+            let outcome = tuner.decide(loop_id, iterations as u64, self.config.threads.max(1));
+            match outcome.decision {
+                TuneDecision::Sequential => {
+                    self.stats.tune_sequential_decisions += 1;
+                    self.pending_seq.insert(
+                        loop_id,
+                        PendingSequential {
+                            started: Instant::now(),
+                            iterations: iterations as u64,
+                            predicted_nanos: outcome.predicted_nanos,
+                            probe: outcome.probe,
+                        },
+                    );
+                    return Ok(false);
+                }
+                TuneDecision::Parallel { chunks } => {
+                    self.stats.tune_parallel_decisions += 1;
+                    chunk_target = i64::from(chunks.max(1));
+                    tune = Some(outcome);
+                }
+            }
+        }
+
         // Plan: split the iteration space into contiguous chunks and fork a
         // guest context per chunk — a copy of the main context with a private
         // stack holding a copy of the main frame, the chunk's induction start
         // and privatised reduction accumulators.
         self.stats.parallel_invocations += 1;
-        // Iteration and thread counts are positive here, so the unsigned
-        // `div_ceil` (stable, unlike the signed one) applies.
-        let chunk = (iterations as u64).div_ceil(threads as u64) as i64;
+        // Iteration and chunk-target counts are positive here, so the
+        // unsigned `div_ceil` (stable, unlike the signed one) applies.
+        let chunk = (iterations as u64).div_ceil(chunk_target as u64) as i64;
         let num_chunks = (iterations as u64).div_ceil(chunk as u64) as usize;
         let main_fp = self.main.read_gpr(Reg::FP) as u64;
         let main_sp = self.main.sp();
@@ -736,6 +877,52 @@ impl Dbm {
         self.stats.breakdown.parallel += batch.parallel_cycles;
         self.stats.os_threads_used = self.stats.os_threads_used.max(batch.os_threads);
         self.stats.parallel_wall_nanos += batch.wall_nanos;
+        self.stats.merge_pages_skipped += batch.merge.pages_skipped;
+        self.stats.merge_pages_merged += batch.merge.pages_merged;
+        if batch.merge.pages_skipped > 0 {
+            self.recorder.instant(
+                "dbm.chunk",
+                "merge.pages_skipped",
+                &[
+                    ("loop", loop_id.into()),
+                    ("pages_skipped", batch.merge.pages_skipped.into()),
+                    ("pages_merged", batch.merge.pages_merged.into()),
+                ],
+            );
+        }
+
+        // Feed the measurement back to the tuner and surface the decision.
+        if let Some(outcome) = tune {
+            let chunk_cycles: u64 = batch.results.iter().map(|r| r.cpu.cycles).sum();
+            if let Some(tuner) = self.tuner.as_mut() {
+                tuner.observe_parallel(
+                    loop_id,
+                    chunk_target as u32,
+                    iterations as u64,
+                    batch.wall_nanos,
+                    chunk_cycles,
+                );
+            }
+            self.recorder.instant(
+                "dbm.tune",
+                "tune.decision",
+                &[
+                    ("loop", loop_id.into()),
+                    ("backend", "parallel".into()),
+                    ("chunks", (chunk_target as u64).into()),
+                    ("iterations", (iterations as u64).into()),
+                    (
+                        "predicted_nanos",
+                        outcome.predicted_nanos.map_or(
+                            janus_obs::ArgValue::Str("none".to_string()),
+                            janus_obs::ArgValue::U64,
+                        ),
+                    ),
+                    ("measured_nanos", batch.wall_nanos.into()),
+                    ("probe", outcome.probe.into()),
+                ],
+            );
+        }
 
         // Accumulate reduction contributions.
         // Both add- and sub-reductions merge by addition: every thread

@@ -1,0 +1,165 @@
+//! Exponentially weighted moving averages — the one estimator shared by
+//! every measurement-driven policy in the stack.
+//!
+//! Two consumers exist today and must agree on the math: `janus-serve`'s
+//! cost model (per-binary service-time estimates feeding fair scheduling and
+//! deadline admission) and `janus-dbm`'s adaptive execution tuner (per-loop
+//! wall-time estimates deciding sequential vs parallel execution). Both use
+//! the same recurrence — the first sample initialises the average, every
+//! further sample folds in with weight `alpha` — and both are *evidence
+//! gated*: an estimator that has observed nothing returns `None` rather
+//! than guessing.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Default smoothing factor: recent samples dominate after a few
+/// observations but one outlier cannot swing the estimate.
+pub const DEFAULT_ALPHA: f64 = 0.3;
+
+/// One exponentially weighted moving average.
+///
+/// The first observation initialises the average directly (no bias toward a
+/// meaningless zero); each later observation folds in as
+/// `value = value * (1 - alpha) + sample * alpha`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ewma {
+    alpha: f64,
+    value: f64,
+    samples: u64,
+}
+
+impl Default for Ewma {
+    fn default() -> Self {
+        Ewma::new()
+    }
+}
+
+impl Ewma {
+    /// An empty estimator with the [`DEFAULT_ALPHA`] smoothing factor.
+    #[must_use]
+    pub fn new() -> Ewma {
+        Ewma::with_alpha(DEFAULT_ALPHA)
+    }
+
+    /// An empty estimator with an explicit smoothing factor in `(0, 1]`.
+    #[must_use]
+    pub fn with_alpha(alpha: f64) -> Ewma {
+        Ewma {
+            alpha,
+            value: 0.0,
+            samples: 0,
+        }
+    }
+
+    /// Folds one sample into the average.
+    pub fn observe(&mut self, sample: f64) {
+        self.value = if self.samples == 0 {
+            sample
+        } else {
+            self.value * (1.0 - self.alpha) + sample * self.alpha
+        };
+        self.samples += 1;
+    }
+
+    /// The current estimate, or `None` before any observation — the
+    /// estimator never guesses without evidence.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        (self.samples > 0).then_some(self.value)
+    }
+
+    /// Number of samples folded in so far.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// A family of per-key [`Ewma`]s with a global fallback: estimates for a key
+/// that has its own history use that history; an unseen key borrows the
+/// global average; a family that has observed nothing estimates `None`.
+///
+/// This is exactly the shape `janus-serve`'s cost model needs (per-binary
+/// service times falling back to "jobs in general") and a convenient one
+/// for any keyed estimator.
+#[derive(Debug, Clone, Default)]
+pub struct KeyedEwma<K: Eq + Hash> {
+    per_key: HashMap<K, Ewma>,
+    global: Ewma,
+}
+
+impl<K: Eq + Hash> KeyedEwma<K> {
+    /// An empty family with the [`DEFAULT_ALPHA`] smoothing factor.
+    #[must_use]
+    pub fn new() -> KeyedEwma<K> {
+        KeyedEwma {
+            per_key: HashMap::new(),
+            global: Ewma::new(),
+        }
+    }
+
+    /// Folds one sample into `key`'s average and into the global fallback.
+    pub fn observe(&mut self, key: K, sample: f64) {
+        self.per_key.entry(key).or_default().observe(sample);
+        self.global.observe(sample);
+    }
+
+    /// The estimate for `key`: its own average, falling back to the global
+    /// one, or `None` before any observation at all.
+    #[must_use]
+    pub fn estimate(&self, key: &K) -> Option<f64> {
+        self.per_key
+            .get(key)
+            .and_then(Ewma::value)
+            .or_else(|| self.global.value())
+    }
+
+    /// Total samples observed across all keys.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.global.samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initialises_then_smooths() {
+        let mut e = Ewma::new();
+        assert_eq!(e.value(), None, "no evidence, no estimate");
+        e.observe(1000.0);
+        assert_eq!(e.value(), Some(1000.0), "first sample taken whole");
+        e.observe(2000.0);
+        let v = e.value().unwrap();
+        assert!((v - 1300.0).abs() < 1e-9, "0.7*1000 + 0.3*2000 = {v}");
+        assert_eq!(e.samples(), 2);
+    }
+
+    #[test]
+    fn outliers_cannot_swing_the_estimate() {
+        let mut e = Ewma::new();
+        for _ in 0..20 {
+            e.observe(100.0);
+        }
+        e.observe(10_000.0);
+        let v = e.value().unwrap();
+        assert!(v < 3200.0, "one outlier moved the average to {v}");
+        assert!(v > 100.0);
+    }
+
+    #[test]
+    fn keyed_family_falls_back_to_global() {
+        let mut k: KeyedEwma<u64> = KeyedEwma::new();
+        assert_eq!(k.estimate(&1), None, "empty family estimates nothing");
+        k.observe(1, 500.0);
+        assert_eq!(k.estimate(&1), Some(500.0));
+        assert_eq!(k.estimate(&2), Some(500.0), "unseen key borrows global");
+        k.observe(2, 1500.0);
+        let own = k.estimate(&2).unwrap();
+        assert!((own - 1500.0).abs() < 1e-9, "own history wins: {own}");
+        assert_eq!(k.samples(), 2);
+    }
+}

@@ -42,6 +42,7 @@
 //! assert!(janus_obs::json::parse(&trace).is_ok());
 //! ```
 
+pub mod ewma;
 mod export;
 mod hist;
 pub mod json;

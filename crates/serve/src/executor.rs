@@ -9,6 +9,7 @@ use crate::{
     JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats, DEFAULT_TENANT,
 };
 use janus_core::{Janus, PipelineArtifacts, PreparedDbm};
+use janus_obs::ewma::KeyedEwma;
 use janus_obs::{Histogram, Recorder};
 use janus_vm::Process;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -113,56 +114,31 @@ impl QueueState {
 }
 
 /// Per-binary (and global) EWMA of observed service times, feeding both the
-/// fair scheduler's token costs and deadline admission.
+/// fair scheduler's token costs and deadline admission. The estimator math
+/// lives in [`janus_obs::ewma`] — one recurrence shared with the DBM's
+/// adaptive execution tuner, not two copies that could drift.
 #[derive(Default)]
 struct CostModel {
-    state: Mutex<CostState>,
-}
-
-#[derive(Default)]
-struct CostState {
-    per_digest: HashMap<u64, f64>,
-    global: f64,
-    observations: u64,
+    state: Mutex<KeyedEwma<u64>>,
 }
 
 impl CostModel {
-    /// EWMA smoothing factor: recent runs dominate after a few samples but
-    /// one outlier cannot swing the estimate.
-    const ALPHA: f64 = 0.3;
-
     fn observe(&self, digest: u64, nanos: u64) {
-        let mut state = self.state.lock().expect("cost model poisoned");
-        let sample = nanos as f64;
-        match state.per_digest.get_mut(&digest) {
-            Some(ewma) => *ewma = *ewma * (1.0 - Self::ALPHA) + sample * Self::ALPHA,
-            None => {
-                state.per_digest.insert(digest, sample);
-            }
-        }
-        state.global = if state.observations == 0 {
-            sample
-        } else {
-            state.global * (1.0 - Self::ALPHA) + sample * Self::ALPHA
-        };
-        state.observations += 1;
+        self.state
+            .lock()
+            .expect("cost model poisoned")
+            .observe(digest, nanos as f64);
     }
 
     /// The service-time estimate for `digest`: its own EWMA, falling back
     /// to the global EWMA, or `None` before any job has completed — the
     /// model never guesses without evidence.
     fn estimate(&self, digest: u64) -> Option<u64> {
-        let state = self.state.lock().expect("cost model poisoned");
-        if state.observations == 0 {
-            return None;
-        }
-        Some(
-            state
-                .per_digest
-                .get(&digest)
-                .copied()
-                .unwrap_or(state.global) as u64,
-        )
+        self.state
+            .lock()
+            .expect("cost model poisoned")
+            .estimate(&digest)
+            .map(|nanos| nanos as u64)
     }
 }
 

@@ -35,9 +35,17 @@ fn train_binary(name: &str) -> Arc<JBinary> {
 }
 
 fn session_janus() -> Janus {
+    // Warm-vs-cold runs are compared cycle-for-cycle: that is a
+    // static-policy contract, so pin the adaptive tuner off even when the
+    // suite runs under JANUS_ADAPTIVE=1 (modelled cycles become
+    // wall-time-dependent with it on).
     Janus::with_config(JanusConfig {
         threads: 4,
         backend: BackendKind::from_env(),
+        dbm: janus_core::DbmConfig {
+            adaptive: false,
+            ..janus_core::DbmConfig::default()
+        },
         ..JanusConfig::default()
     })
 }

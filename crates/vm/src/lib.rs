@@ -59,7 +59,7 @@ pub use cpu::{Cpu, Flags};
 pub use error::{Result, VmError};
 pub use exec::{exec_inst, Effect};
 pub use memory::{FlatMemory, GuestMemory, PeekMemory};
-pub use overlay::{CowMemory, OverlayWrite};
+pub use overlay::{merge_chunk_overlays, ChunkOverlay, CowMemory, MergeStats, OverlayWrite};
 pub use process::{Process, ResolvedPlt};
 pub use syslib::build_syslib;
 pub use vm::{RunResult, Vm, VmConfig};

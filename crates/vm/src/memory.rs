@@ -3,8 +3,8 @@
 
 use std::collections::HashMap;
 
-const PAGE_SHIFT: u64 = 12;
-const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+pub(crate) const PAGE_SHIFT: u64 = 12;
+pub(crate) const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
 /// The interface through which executed instructions access guest memory.
 ///
@@ -126,6 +126,30 @@ impl FlatMemory {
     #[must_use]
     pub fn mapped_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// The raw bytes of one mapped page, by page index (`addr >> PAGE_SHIFT`),
+    /// or `None` for an unmapped page. Used by the page-aware overlay merge,
+    /// which reads base pages from worker threads through a shared reference.
+    pub(crate) fn page_ref(&self, page: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&page).map(Box::as_ref)
+    }
+
+    /// The bytes of one page, mapping it (zero-filled) if absent. Access
+    /// statistics are not touched — this is a merge-path primitive, not a
+    /// guest access.
+    pub(crate) fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Replaces (or maps) one page with fully merged bytes. The parallel
+    /// overlay merge builds final page images off-thread and installs them
+    /// here — a pointer move, so the single-threaded tail of the merge stays
+    /// cheap.
+    pub(crate) fn install_page(&mut self, page: u64, bytes: Box<[u8; PAGE_SIZE]>) {
+        self.pages.insert(page, bytes);
     }
 
     /// Reads one byte without updating access statistics. Used by shared

@@ -3,42 +3,116 @@
 //! A parallelised loop chunk running on a real worker thread cannot share a
 //! `&mut FlatMemory` with its siblings. [`CowMemory`] gives each chunk a
 //! `Send`-able view instead: reads fall through to a shared read-only base
-//! image, writes land in a private word-granular overlay. After the workers
-//! join, the coordinating thread merges each overlay back into the base in
-//! chunk order, which reproduces the memory image a sequential chunk-by-chunk
-//! execution would have produced.
+//! image, writes land in a private page-structured overlay. After the
+//! workers join, the coordinating thread merges each overlay back into the
+//! base in chunk order, which reproduces the memory image a sequential
+//! chunk-by-chunk execution would have produced.
+//!
+//! The overlay is organised as pages mirroring [`FlatMemory`]'s own layout:
+//! on first touch of a page the base bytes are copied in, so subsequent
+//! reads and writes are plain array indexing, and each page carries a
+//! per-word dirty bitmap plus per-byte dirty masks. The bitmaps are what
+//! make the merge page-aware — [`merge_chunk_overlays`] visits only touched
+//! pages (untouched base pages are skipped entirely, never re-hashed or
+//! re-scanned) and, when the touched set is large, builds the merged page
+//! images on worker threads and installs them into the target as pointer
+//! moves.
 
-use crate::memory::{FlatMemory, GuestMemory, PeekMemory};
+use crate::memory::{FlatMemory, GuestMemory, PeekMemory, PAGE_SHIFT, PAGE_SIZE};
 use std::collections::HashMap;
 
-/// One overlay word plus the mask of bytes the view actually wrote.
-///
-/// The mask is what makes the merge byte-exact: two sibling chunks may
-/// legally write *disjoint bytes* of the same 8-byte word (an unaligned
-/// store straddling a chunk boundary, byte-granular stores), and merging
-/// whole words would let the later chunk clobber the earlier one's bytes
-/// with stale base data. Only dirty bytes are applied.
-#[derive(Debug, Clone, Copy)]
-struct OverlayWord {
-    value: u64,
-    dirty: u8,
-}
+/// 64-bit words per page.
+const WORDS_PER_PAGE: usize = PAGE_SIZE / 8;
+/// `u64` bitmap words needed to give each page word one dirty bit.
+const BITMAP_WORDS: usize = WORDS_PER_PAGE / 64;
+/// Below this many touched pages the merge stays on the calling thread —
+/// spawning workers costs more than splicing a handful of pages.
+const PARALLEL_MERGE_MIN_PAGES: usize = 32;
 
 /// A pending overlay write: the aligned word address, the value, and the
 /// mask of bytes (bit *i* ⇒ byte *i*) that were actually written.
 pub type OverlayWrite = (u64, u64, u8);
 
+/// One page of overlay state: a full copy of the base page's words (so
+/// reads are array lookups), a per-word dirty-byte mask, and a one-bit-per-
+/// word dirty bitmap for fast iteration over written words.
+///
+/// The byte masks are what make the merge byte-exact: two sibling chunks
+/// may legally write *disjoint bytes* of the same 8-byte word (an unaligned
+/// store straddling a chunk boundary, byte-granular stores), and merging
+/// whole words would let the later chunk clobber the earlier one's bytes
+/// with stale base data. Only dirty bytes are applied.
+#[derive(Debug, Clone)]
+struct PageOverlay {
+    values: [u64; WORDS_PER_PAGE],
+    masks: [u8; WORDS_PER_PAGE],
+    dirty: [u64; BITMAP_WORDS],
+}
+
+impl PageOverlay {
+    /// A fresh overlay page seeded from the base image (zero-filled when the
+    /// base page is unmapped).
+    fn from_base(base: &FlatMemory, page: u64) -> Box<PageOverlay> {
+        let mut overlay = Box::new(PageOverlay {
+            values: [0u64; WORDS_PER_PAGE],
+            masks: [0u8; WORDS_PER_PAGE],
+            dirty: [0u64; BITMAP_WORDS],
+        });
+        if let Some(bytes) = base.page_ref(page) {
+            for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+                overlay.values[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+        }
+        overlay
+    }
+
+    /// Number of dirty (written) words on this page.
+    fn dirty_words(&self) -> usize {
+        self.dirty.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Calls `f(word index, value, dirty-byte mask)` for every dirty word in
+    /// ascending order.
+    fn for_each_dirty(&self, mut f: impl FnMut(usize, u64, u8)) {
+        for (bm, &bits) in self.dirty.iter().enumerate() {
+            let mut bits = bits;
+            while bits != 0 {
+                let idx = bm * 64 + bits.trailing_zeros() as usize;
+                f(idx, self.values[idx], self.masks[idx]);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Splices one overlay word's dirty bytes over the current bytes of a page
+/// image. A fully dirty word is stored whole.
+fn splice_word(bytes: &mut [u8; PAGE_SIZE], idx: usize, value: u64, mask: u8) {
+    let off = idx * 8;
+    let new = value.to_le_bytes();
+    if mask == 0xff {
+        bytes[off..off + 8].copy_from_slice(&new);
+    } else {
+        for i in 0..8 {
+            if mask & (1 << i) != 0 {
+                bytes[off + i] = new[i];
+            }
+        }
+    }
+}
+
 /// A private, writable view over a shared read-only [`FlatMemory`] image.
 ///
 /// Writes are buffered at aligned-64-bit-word granularity with a per-byte
-/// dirty mask; byte and unaligned accesses are composed through the covering
-/// words, mirroring the layout the base memory itself uses. The view borrows
-/// the base immutably, so any number of views can coexist — one per worker
-/// thread.
+/// dirty mask, inside page-sized overlay blocks mirroring the base layout;
+/// byte and unaligned accesses are composed through the covering words. The
+/// view borrows the base immutably, so any number of views can coexist —
+/// one per worker thread.
 #[derive(Debug)]
 pub struct CowMemory<'a> {
     base: &'a FlatMemory,
-    words: HashMap<u64, OverlayWord>,
+    pages: HashMap<u64, Box<PageOverlay>>,
+    written: usize,
 }
 
 impl<'a> CowMemory<'a> {
@@ -47,14 +121,21 @@ impl<'a> CowMemory<'a> {
     pub fn new(base: &'a FlatMemory) -> CowMemory<'a> {
         CowMemory {
             base,
-            words: HashMap::new(),
+            pages: HashMap::new(),
+            written: 0,
         }
     }
 
     /// Number of distinct words the view has written (fully or partially).
     #[must_use]
     pub fn written_words(&self) -> usize {
-        self.words.len()
+        self.written
+    }
+
+    /// Number of distinct pages the view has touched with at least one write.
+    #[must_use]
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
     }
 
     /// Consumes the view and returns its writes as
@@ -62,13 +143,30 @@ impl<'a> CowMemory<'a> {
     /// Apply them with [`CowMemory::apply_writes`].
     #[must_use]
     pub fn into_writes(self) -> Vec<OverlayWrite> {
-        let mut writes: Vec<OverlayWrite> = self
-            .words
-            .into_iter()
-            .map(|(addr, w)| (addr, w.value, w.dirty))
-            .collect();
-        writes.sort_unstable();
+        let mut writes: Vec<OverlayWrite> = Vec::with_capacity(self.written);
+        let mut pages: Vec<(u64, Box<PageOverlay>)> = self.pages.into_iter().collect();
+        pages.sort_unstable_by_key(|&(page, _)| page);
+        for (page, overlay) in pages {
+            let base_addr = page << PAGE_SHIFT;
+            overlay.for_each_dirty(|idx, value, mask| {
+                writes.push((base_addr + (idx as u64) * 8, value, mask));
+            });
+        }
         writes
+    }
+
+    /// Consumes the view and returns its dirty pages as a [`ChunkOverlay`],
+    /// the unit [`merge_chunk_overlays`] consumes. Only pages with at least
+    /// one dirty word are retained.
+    #[must_use]
+    pub fn into_pages(self) -> ChunkOverlay {
+        let mut pages: Vec<(u64, Box<PageOverlay>)> = self
+            .pages
+            .into_iter()
+            .filter(|(_, overlay)| overlay.dirty.iter().any(|&w| w != 0))
+            .collect();
+        pages.sort_unstable_by_key(|&(page, _)| page);
+        ChunkOverlay { pages }
     }
 
     /// Merges overlay writes into `target`, honouring each write's dirty
@@ -95,18 +193,36 @@ impl<'a> CowMemory<'a> {
         addr & !7
     }
 
-    fn word(&self, word: u64) -> u64 {
-        self.words
-            .get(&word)
-            .map_or_else(|| self.base.peek_u64(word), |w| w.value)
+    /// Splits an aligned word address into (page index, word-in-page index).
+    fn split(word: u64) -> (u64, usize) {
+        (
+            word >> PAGE_SHIFT,
+            ((word & (PAGE_SIZE as u64 - 1)) >> 3) as usize,
+        )
     }
 
-    fn entry(&mut self, word: u64) -> &mut OverlayWord {
+    fn word(&self, word: u64) -> u64 {
+        let (page, idx) = Self::split(word);
+        self.pages
+            .get(&page)
+            .map_or_else(|| self.base.peek_u64(word), |p| p.values[idx])
+    }
+
+    /// Mutates one overlay word in place, seeding the covering page from the
+    /// base on first touch, and keeps the written-word counter exact.
+    fn mutate_word(&mut self, word: u64, f: impl FnOnce(&mut u64, &mut u8)) {
+        let (page, idx) = Self::split(word);
         let base = self.base;
-        self.words.entry(word).or_insert_with(|| OverlayWord {
-            value: base.peek_u64(word),
-            dirty: 0,
-        })
+        let overlay = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| PageOverlay::from_base(base, page));
+        let newly_dirty = overlay.masks[idx] == 0;
+        f(&mut overlay.values[idx], &mut overlay.masks[idx]);
+        if newly_dirty && overlay.masks[idx] != 0 {
+            overlay.dirty[idx / 64] |= 1 << (idx % 64);
+            self.written += 1;
+        }
     }
 }
 
@@ -131,44 +247,197 @@ impl PeekMemory for CowMemory<'_> {
 
 impl GuestMemory for CowMemory<'_> {
     fn read_u8(&mut self, addr: u64) -> u8 {
-        let word = Self::aligned(addr);
-        self.word(word).to_le_bytes()[(addr - word) as usize]
+        self.peek_u8(addr)
     }
 
     fn write_u8(&mut self, addr: u64, value: u8) {
         let word = Self::aligned(addr);
         let byte = (addr - word) as usize;
-        let w = self.entry(word);
-        let mut bytes = w.value.to_le_bytes();
-        bytes[byte] = value;
-        w.value = u64::from_le_bytes(bytes);
-        w.dirty |= 1 << byte;
+        self.mutate_word(word, |w, mask| {
+            let mut bytes = w.to_le_bytes();
+            bytes[byte] = value;
+            *w = u64::from_le_bytes(bytes);
+            *mask |= 1 << byte;
+        });
     }
 
     fn read_u64(&mut self, addr: u64) -> u64 {
-        let word = Self::aligned(addr);
-        if word == addr {
-            self.word(word)
-        } else {
-            let lo = self.word(word);
-            let hi = self.word(word + 8);
-            let shift = (addr - word) * 8;
-            (lo >> shift) | (hi << (64 - shift))
-        }
+        self.peek_u64(addr)
     }
 
     fn write_u64(&mut self, addr: u64, value: u64) {
         let word = Self::aligned(addr);
         if word == addr {
-            let w = self.entry(word);
-            w.value = value;
-            w.dirty = 0xff;
+            self.mutate_word(word, |w, mask| {
+                *w = value;
+                *mask = 0xff;
+            });
         } else {
             for (i, b) in value.to_le_bytes().iter().enumerate() {
                 self.write_u8(addr + i as u64, *b);
             }
         }
     }
+}
+
+/// The dirty pages of one finished chunk, detached from the view's borrow of
+/// the base image so it can be sent back to the coordinator. Pages are
+/// sorted by page index.
+#[derive(Debug)]
+pub struct ChunkOverlay {
+    pages: Vec<(u64, Box<PageOverlay>)>,
+}
+
+impl ChunkOverlay {
+    /// Number of dirty pages carried by this chunk.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total dirty words across all pages.
+    #[must_use]
+    pub fn dirty_words(&self) -> usize {
+        self.pages.iter().map(|(_, p)| p.dirty_words()).sum()
+    }
+
+    /// The chunk's writes as sorted `(word address, value, mask)` triples —
+    /// the word-granular form, for tests and compatibility paths.
+    #[must_use]
+    pub fn to_writes(&self) -> Vec<OverlayWrite> {
+        let mut writes = Vec::new();
+        for (page, overlay) in &self.pages {
+            let base_addr = page << PAGE_SHIFT;
+            overlay.for_each_dirty(|idx, value, mask| {
+                writes.push((base_addr + (idx as u64) * 8, value, mask));
+            });
+        }
+        writes
+    }
+
+    /// The overlay page for `page`, if this chunk touched it.
+    fn get(&self, page: u64) -> Option<&PageOverlay> {
+        self.pages
+            .binary_search_by_key(&page, |&(p, _)| p)
+            .ok()
+            .map(|i| &*self.pages[i].1)
+    }
+}
+
+/// What one [`merge_chunk_overlays`] call did — feeds the `merge.*`
+/// observability counters and the adaptive bench report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Pages the merge actually visited (union of dirty pages across chunks).
+    pub pages_merged: u64,
+    /// Mapped base pages the merge never had to look at because no chunk
+    /// dirtied them.
+    pub pages_skipped: u64,
+    /// Dirty words spliced into the target.
+    pub words_applied: u64,
+    /// Worker threads used to build page images (1 ⇒ sequential merge).
+    pub merge_threads: u64,
+}
+
+/// Merges the overlays of all chunks into `target` in chunk order,
+/// page-aware and (for large touched sets) in parallel.
+///
+/// The result is bit-identical to replaying every chunk's sorted word
+/// writes through [`CowMemory::apply_writes`] chunk by chunk: writes to
+/// different pages commute, and within a page each word is spliced in chunk
+/// order with the same per-byte dirty-mask semantics. Pages no chunk wrote
+/// are never visited. When the union of dirty pages is large enough,
+/// `max_threads` workers build the merged page images from the pre-merge
+/// base concurrently (page sets are disjoint, so this is race-free by
+/// construction) and the coordinator installs each finished page as a
+/// pointer move.
+pub fn merge_chunk_overlays(
+    target: &mut FlatMemory,
+    chunks: &[ChunkOverlay],
+    max_threads: usize,
+) -> MergeStats {
+    let mut pages: Vec<u64> = chunks
+        .iter()
+        .flat_map(|c| c.pages.iter().map(|&(p, _)| p))
+        .collect();
+    pages.sort_unstable();
+    pages.dedup();
+
+    let mapped_before = target.mapped_pages() as u64;
+    let touched_mapped = pages
+        .iter()
+        .filter(|&&p| target.page_ref(p).is_some())
+        .count() as u64;
+    let mut stats = MergeStats {
+        pages_merged: pages.len() as u64,
+        pages_skipped: mapped_before.saturating_sub(touched_mapped),
+        words_applied: 0,
+        merge_threads: 1,
+    };
+
+    let workers = max_threads
+        .max(1)
+        .min(pages.len() / PARALLEL_MERGE_MIN_PAGES);
+    if workers <= 1 {
+        for &page in &pages {
+            let bytes = target.page_mut(page);
+            for chunk in chunks {
+                if let Some(overlay) = chunk.get(page) {
+                    overlay.for_each_dirty(|idx, value, mask| {
+                        splice_word(bytes, idx, value, mask);
+                        stats.words_applied += 1;
+                    });
+                }
+            }
+        }
+        return stats;
+    }
+
+    stats.merge_threads = workers as u64;
+    let per_worker = pages.len().div_ceil(workers);
+    let base: &FlatMemory = target;
+    /// A worker's output: the page number, its fully merged image, and the
+    /// dirty words applied while building it.
+    type BuiltPage = (u64, Box<[u8; PAGE_SIZE]>, u64);
+    let built: Vec<Vec<BuiltPage>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = pages
+            .chunks(per_worker)
+            .map(|slice| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .map(|&page| {
+                            let mut bytes: Box<[u8; PAGE_SIZE]> = match base.page_ref(page) {
+                                Some(existing) => Box::new(*existing),
+                                None => Box::new([0u8; PAGE_SIZE]),
+                            };
+                            let mut words = 0u64;
+                            for chunk in chunks {
+                                if let Some(overlay) = chunk.get(page) {
+                                    overlay.for_each_dirty(|idx, value, mask| {
+                                        splice_word(&mut bytes, idx, value, mask);
+                                        words += 1;
+                                    });
+                                }
+                            }
+                            (page, bytes, words)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("merge worker panicked"))
+            .collect()
+    });
+    for batch in built {
+        for (page, bytes, words) in batch {
+            stats.words_applied += words;
+            target.install_page(page, bytes);
+        }
+    }
+    stats
 }
 
 #[cfg(test)]
@@ -250,5 +519,74 @@ mod tests {
     fn views_are_send() {
         fn assert_send<T: Send>() {}
         assert_send::<CowMemory<'_>>();
+        assert_send::<ChunkOverlay>();
+    }
+
+    #[test]
+    fn page_merge_matches_word_merge_and_skips_untouched_pages() {
+        let mut base = FlatMemory::new();
+        // Several mapped pages; chunks will touch only two of them.
+        for page in 0..6u64 {
+            base.write_u64(page << 12, page + 100);
+        }
+        let mut word_merged = base.clone();
+
+        let mut a = CowMemory::new(&base);
+        a.write_u64(0x1000, 0xaaaa);
+        a.write_u8(0x3004, 0xa5);
+        let mut b = CowMemory::new(&base);
+        b.write_u64(0x1008, 0xbbbb);
+        b.write_u8(0x3005, 0x5b);
+
+        let (pa, pb) = (a.into_pages(), b.into_pages());
+        for chunk in [&pa, &pb] {
+            CowMemory::apply_writes(&mut word_merged, &chunk.to_writes());
+        }
+
+        let mut page_merged = base.clone();
+        let stats = merge_chunk_overlays(&mut page_merged, &[pa, pb], 4);
+        assert_eq!(stats.pages_merged, 2, "only pages 1 and 3 were dirtied");
+        assert_eq!(
+            stats.pages_skipped, 4,
+            "the other mapped pages were skipped"
+        );
+        assert_eq!(stats.words_applied, 4);
+        assert_eq!(stats.merge_threads, 1, "small merges stay sequential");
+        assert_eq!(page_merged.image_digest(), word_merged.image_digest());
+    }
+
+    #[test]
+    fn parallel_merge_is_bit_identical_to_sequential() {
+        let mut base = FlatMemory::new();
+        for page in 0..128u64 {
+            base.write_u64((page << 12) + 8, page * 31 + 7);
+        }
+        let mut word_merged = base.clone();
+
+        // Two chunks with a deliberate overlap: chunk order must win.
+        let mut a = CowMemory::new(&base);
+        let mut b = CowMemory::new(&base);
+        for page in 0..128u64 {
+            let addr = (page << 12) + (page % 64) * 8;
+            a.write_u64(addr, page ^ 0xdead);
+            if page % 3 == 0 {
+                b.write_u64(addr, page ^ 0xbeef);
+            }
+            if page % 5 == 0 {
+                b.write_u8(addr + 2, 0x77);
+            }
+        }
+        let (pa, pb) = (a.into_pages(), b.into_pages());
+        for chunk in [&pa, &pb] {
+            CowMemory::apply_writes(&mut word_merged, &chunk.to_writes());
+        }
+
+        let mut page_merged = base.clone();
+        let stats = merge_chunk_overlays(&mut page_merged, &[pa, pb], 4);
+        assert!(
+            stats.merge_threads > 1,
+            "128 pages should merge in parallel"
+        );
+        assert_eq!(page_merged.image_digest(), word_merged.image_digest());
     }
 }
