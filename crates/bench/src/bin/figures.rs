@@ -5,39 +5,42 @@
 //! `cargo run --release -p janus-bench --bin figures -- \
 //!     [fig6|fig7|...|table3|bench-json|trace|all] [--backend virtual|native] [--threads N]`
 //!
-//! `--backend` selects the execution backend for every figure (it sets
-//! `JANUS_BACKEND`, which the default configurations honour); modelled
-//! cycles — and therefore every printed figure — are identical across
-//! backends, so the flag matters for wall-clock measurements and for
+//! `--backend` selects the execution backend for every figure; it defaults
+//! to `JANUS_BACKEND` (or virtual time) and is threaded explicitly through
+//! every figure function — the process environment is never mutated.
+//! Modelled cycles — and therefore every printed figure — are identical
+//! across backends, so the flag matters for wall-clock measurements and for
 //! `bench-json`, which writes `BENCH_<backend>.json` with per-workload
 //! speedup and wall time. `--threads` controls the thread-scaling figures
-//! (default 8).
+//! (default 8). `fuzz [--cases N] [--seed S]` runs the differential
+//! guest-program fuzzer (see `janus_bench::fuzz`) instead of a figure.
 
 use janus_bench as bench;
 use janus_core::BackendKind;
 
-/// A named figure renderer taking the thread count.
-type Figure = (&'static str, fn(u32));
+/// A named figure renderer taking the execution backend and thread count.
+type Figure = (&'static str, fn(BackendKind, u32));
 
 const FIGURES: [Figure; 12] = [
-    ("fig6", |_| fig6()),
+    ("fig6", |_, _| fig6()),
     ("fig7", fig7),
-    ("fig8", |_| fig8()),
+    ("fig8", |backend, _| fig8(backend)),
     ("fig9", fig9),
-    ("fig10", |_| fig10()),
+    ("fig10", |backend, _| fig10(backend)),
     ("fig11", fig11),
     ("fig12", fig12),
-    ("table1", |_| table1()),
-    ("table2", |_| table2()),
+    ("table1", |_, _| table1()),
+    ("table2", |_, _| table2()),
     ("table3", table3),
     ("bench-json", bench_json),
-    ("trace", |_| trace()),
+    ("trace", |backend, _| trace(backend)),
 ];
 
 fn usage() -> ! {
     let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
     eprintln!(
-        "usage: figures [{} | all] [--backend virtual|native] [--threads N]",
+        "usage: figures [{} | fuzz | all] [--backend virtual|native] \
+         [--threads N] [--cases N] [--seed S]",
         names.join(" | ")
     );
     std::process::exit(2);
@@ -46,6 +49,12 @@ fn usage() -> ! {
 fn main() {
     let mut which: Option<String> = None;
     let mut threads: u32 = 8;
+    // The backend is threaded explicitly through every figure function
+    // (never written back into the environment); the flag overrides the
+    // JANUS_BACKEND default.
+    let mut backend = BackendKind::from_env();
+    let mut cases: usize = 256;
+    let mut seed: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -55,15 +64,26 @@ fn main() {
                     eprintln!("unknown backend {value:?}; expected virtual or native");
                     std::process::exit(2);
                 };
-                // The default configurations (and therefore every figure
-                // function) honour JANUS_BACKEND.
-                std::env::set_var("JANUS_BACKEND", kind.label());
+                backend = kind;
             }
             "--threads" => {
                 threads = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .filter(|t| *t > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--cases" => {
+                cases = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|c| *c > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
             name if !name.starts_with('-') && which.is_none() => {
@@ -73,24 +93,43 @@ fn main() {
         }
     }
     let which = which.unwrap_or_else(|| "all".to_string());
+    if which == "fuzz" {
+        fuzz(cases, seed);
+        return;
+    }
     if which == "all" {
         for (name, run) in FIGURES {
             // `bench-json` and `trace` are export commands (they write
             // files); keep the default figure sweep a pure print.
             if name != "bench-json" && name != "trace" {
-                run(threads);
+                run(backend, threads);
             }
         }
         return;
     }
     match FIGURES.iter().find(|(name, _)| *name == which) {
-        Some((_, run)) => run(threads),
+        Some((_, run)) => run(backend, threads),
         None => usage(),
     }
 }
 
-fn bench_json(threads: u32) {
-    let backend = BackendKind::from_env();
+/// The differential guest-program fuzzer: `cases` generated programs from
+/// `seed`, each checked across the whole (backend × threads × commit mode ×
+/// adaptive) equivalence matrix. Both backends are always exercised —
+/// `--backend` does not apply here.
+fn fuzz(cases: usize, seed: u64) {
+    println!("=== Differential fuzz: {cases} generated programs, seed {seed} ===");
+    let report = bench::fuzz::run_differential_fuzz(cases, seed);
+    println!("{}", report.summary());
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("{f}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn bench_json(backend: BackendKind, threads: u32) {
     let rows = bench::backend_bench(backend, threads);
     // The serving figure: a mixed 200-job batch over the whole suite through
     // a 4-worker `janus-serve` session (jobs/sec, cache hit rate, p50/p99
@@ -176,8 +215,7 @@ fn bench_json(threads: u32) {
     );
 }
 
-fn trace() {
-    let backend = BackendKind::from_env();
+fn trace(backend: BackendKind) {
     let run = bench::serve_trace(backend, 4);
     let path = format!("TRACE_{}.json", backend.label());
     std::fs::write(&path, &run.chrome_json).expect("write chrome trace");
@@ -231,13 +269,13 @@ fn fig6() {
     }
 }
 
-fn fig7(threads: u32) {
+fn fig7(backend: BackendKind, threads: u32) {
     println!("\n=== Figure 7: whole-program speedup, {threads} threads ===");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10}",
         "benchmark", "DynamoRIO", "Static", "+Profile", "Janus"
     );
-    let rows = bench::fig7_speedup(threads);
+    let rows = bench::fig7_speedup(backend, threads);
     for r in &rows {
         println!(
             "{:<16} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -254,13 +292,13 @@ fn fig7(threads: u32) {
     );
 }
 
-fn fig8() {
+fn fig8(backend: BackendKind) {
     println!("\n=== Figure 8: execution-time breakdown (fractions) ===");
     println!(
         "{:<16} {:>3}  {:>10} {:>10} {:>12} {:>12} {:>10}",
         "benchmark", "T", "sequential", "parallel", "init/finish", "translation", "checks"
     );
-    for row in bench::fig8_breakdown() {
+    for row in bench::fig8_breakdown(backend) {
         let f = row.fractions;
         println!(
             "{:<16} {:>3}  {:>9.1}% {:>9.1}% {:>11.1}% {:>11.1}% {:>9.1}%",
@@ -275,14 +313,14 @@ fn fig8() {
     }
 }
 
-fn fig9(threads: u32) {
+fn fig9(backend: BackendKind, threads: u32) {
     println!("\n=== Figure 9: speedup vs number of threads ===");
     print!("{:<16}", "benchmark");
     for t in 1..=threads {
         print!(" {:>6}", format!("{t}T"));
     }
     println!();
-    for (name, series) in bench::fig9_scaling(threads) {
+    for (name, series) in bench::fig9_scaling(backend, threads) {
         print!("{name:<16}");
         for (_, s) in series {
             print!(" {s:>6.2}");
@@ -291,9 +329,9 @@ fn fig9(threads: u32) {
     }
 }
 
-fn fig10() {
+fn fig10(backend: BackendKind) {
     println!("\n=== Figure 10: rewrite-schedule size (% of binary size) ===");
-    let rows = bench::fig10_schedule_size();
+    let rows = bench::fig10_schedule_size(backend);
     for (name, pct) in &rows {
         println!("{name:<16} {pct:>6.2}%");
     }
@@ -304,13 +342,13 @@ fn fig10() {
     );
 }
 
-fn fig11(threads: u32) {
+fn fig11(backend: BackendKind, threads: u32) {
     println!("\n=== Figure 11: Janus vs compiler auto-parallelisation ({threads} threads) ===");
     println!(
         "{:<16} {:>12} {:>14} {:>12} {:>14}",
         "benchmark", "gcc -parallel", "Janus on gcc", "icc -parallel", "Janus on icc"
     );
-    let rows = bench::fig11_compiler_comparison(threads);
+    let rows = bench::fig11_compiler_comparison(backend, threads);
     for r in &rows {
         println!(
             "{:<16} {:>12.2} {:>14.2} {:>12.2} {:>14.2}",
@@ -327,13 +365,13 @@ fn fig11(threads: u32) {
     );
 }
 
-fn fig12(threads: u32) {
+fn fig12(backend: BackendKind, threads: u32) {
     println!("\n=== Figure 12: Janus speedup by compiler optimisation level ===");
     println!(
         "{:<16} {:>8} {:>8} {:>10}",
         "benchmark", "-O2", "-O3", "-O3 -mavx"
     );
-    let rows = bench::fig12_opt_levels(threads);
+    let rows = bench::fig12_opt_levels(backend, threads);
     for (name, s) in &rows {
         println!("{:<16} {:>8.2} {:>8.2} {:>10.2}", name, s[0], s[1], s[2]);
     }
@@ -350,7 +388,7 @@ fn table1() {
     }
 }
 
-fn table3(threads: u32) {
+fn table3(backend: BackendKind, threads: u32) {
     println!("\n=== Table III: speculative DOACROSS execution ({threads} threads) ===");
     println!(
         "{:<22} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>9} {:>6}",
@@ -364,7 +402,7 @@ fn table3(threads: u32) {
         "speedup",
         "match"
     );
-    for r in bench::table3_speculation(threads) {
+    for r in bench::table3_speculation(backend, threads) {
         println!(
             "{:<22} {:>10} {:>10} {:>8} {:>8} {:>7.1}% {:>10} {:>9.2} {:>6}",
             r.name,

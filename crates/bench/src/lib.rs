@@ -14,6 +14,8 @@
 
 #![warn(missing_docs)]
 
+pub mod fuzz;
+
 use janus_analysis::LoopCategory;
 use janus_compile::{CompileOptions, Compiler, OptLevel};
 use janus_core::{BackendKind, Janus, JanusConfig, OptimisationMode};
@@ -119,9 +121,15 @@ pub struct Fig7Row {
     pub janus: f64,
 }
 
-fn run_mode(binary: &JBinary, mode: OptimisationMode, threads: u32) -> janus_core::JanusReport {
+fn run_mode(
+    binary: &JBinary,
+    backend: BackendKind,
+    mode: OptimisationMode,
+    threads: u32,
+) -> janus_core::JanusReport {
     Janus::with_config(JanusConfig {
         threads,
+        backend,
         mode,
         ..JanusConfig::default()
     })
@@ -132,7 +140,7 @@ fn run_mode(binary: &JBinary, mode: OptimisationMode, threads: u32) -> janus_cor
 /// Figure 7: whole-program speedup with eight threads for the nine
 /// parallelisable benchmarks, under the four configurations.
 #[must_use]
-pub fn fig7_speedup(threads: u32) -> Vec<Fig7Row> {
+pub fn fig7_speedup(backend: BackendKind, threads: u32) -> Vec<Fig7Row> {
     parallel_benchmarks()
         .iter()
         .map(|name| {
@@ -143,7 +151,7 @@ pub fn fig7_speedup(threads: u32) -> Vec<Fig7Row> {
                 OptimisationMode::StaticallyDrivenProfile,
                 OptimisationMode::Full,
             ]
-            .map(|mode| run_mode(&binary, mode, threads).speedup());
+            .map(|mode| run_mode(&binary, backend, mode, threads).speedup());
             Fig7Row {
                 name,
                 dynamorio: rows[0],
@@ -169,12 +177,12 @@ pub struct Fig8Row {
 
 /// Figure 8: breakdown of execution time for one and eight threads.
 #[must_use]
-pub fn fig8_breakdown() -> Vec<Fig8Row> {
+pub fn fig8_breakdown(backend: BackendKind) -> Vec<Fig8Row> {
     let mut rows = Vec::new();
     for name in parallel_benchmarks() {
         let binary = compile_ref(name, CompileOptions::gcc_o3());
         for threads in [1u32, 8] {
-            let report = run_mode(&binary, OptimisationMode::Full, threads);
+            let report = run_mode(&binary, backend, OptimisationMode::Full, threads);
             let f = report.parallel.stats.breakdown.fractions();
             rows.push(Fig8Row {
                 name,
@@ -189,13 +197,21 @@ pub fn fig8_breakdown() -> Vec<Fig8Row> {
 /// Figure 9: speedup for 1..=8 threads per benchmark. Returns
 /// `(name, Vec<(threads, speedup)>)` series.
 #[must_use]
-pub fn fig9_scaling(max_threads: u32) -> Vec<(&'static str, Vec<(u32, f64)>)> {
+pub fn fig9_scaling(
+    backend: BackendKind,
+    max_threads: u32,
+) -> Vec<(&'static str, Vec<(u32, f64)>)> {
     parallel_benchmarks()
         .iter()
         .map(|name| {
             let binary = compile_ref(name, CompileOptions::gcc_o3());
             let series = (1..=max_threads)
-                .map(|t| (t, run_mode(&binary, OptimisationMode::Full, t).speedup()))
+                .map(|t| {
+                    (
+                        t,
+                        run_mode(&binary, backend, OptimisationMode::Full, t).speedup(),
+                    )
+                })
                 .collect();
             (*name, series)
         })
@@ -204,12 +220,12 @@ pub fn fig9_scaling(max_threads: u32) -> Vec<(&'static str, Vec<(u32, f64)>)> {
 
 /// Figure 10: rewrite-schedule size as a percentage of binary size.
 #[must_use]
-pub fn fig10_schedule_size() -> Vec<(&'static str, f64)> {
+pub fn fig10_schedule_size(backend: BackendKind) -> Vec<(&'static str, f64)> {
     parallel_benchmarks()
         .iter()
         .map(|name| {
             let binary = compile_ref(name, CompileOptions::gcc_o3());
-            let report = run_mode(&binary, OptimisationMode::Full, 8);
+            let report = run_mode(&binary, backend, OptimisationMode::Full, 8);
             (*name, report.schedule_size_fraction() * 100.0)
         })
         .collect()
@@ -233,7 +249,7 @@ pub struct Fig11Row {
 
 /// Figure 11: comparison with compiler auto-parallelisation.
 #[must_use]
-pub fn fig11_compiler_comparison(threads: u32) -> Vec<Fig11Row> {
+pub fn fig11_compiler_comparison(backend: BackendKind, threads: u32) -> Vec<Fig11Row> {
     parallel_benchmarks()
         .iter()
         .map(|name| {
@@ -246,9 +262,11 @@ pub fn fig11_compiler_comparison(threads: u32) -> Vec<Fig11Row> {
             Fig11Row {
                 name,
                 gcc_parallel: gcc_base as f64 / native_cycles(&gcc_par).max(1) as f64,
-                janus_on_gcc: run_mode(&gcc_seq, OptimisationMode::Full, threads).speedup(),
+                janus_on_gcc: run_mode(&gcc_seq, backend, OptimisationMode::Full, threads)
+                    .speedup(),
                 icc_parallel: icc_base as f64 / native_cycles(&icc_par).max(1) as f64,
-                janus_on_icc: run_mode(&icc_seq, OptimisationMode::Full, threads).speedup(),
+                janus_on_icc: run_mode(&icc_seq, backend, OptimisationMode::Full, threads)
+                    .speedup(),
             }
         })
         .collect()
@@ -256,7 +274,7 @@ pub fn fig11_compiler_comparison(threads: u32) -> Vec<Fig11Row> {
 
 /// Figure 12: Janus speedup on `-O2`, `-O3` and `-O3 -mavx` binaries.
 #[must_use]
-pub fn fig12_opt_levels(threads: u32) -> Vec<(&'static str, [f64; 3])> {
+pub fn fig12_opt_levels(backend: BackendKind, threads: u32) -> Vec<(&'static str, [f64; 3])> {
     parallel_benchmarks()
         .iter()
         .map(|name| {
@@ -267,7 +285,7 @@ pub fn fig12_opt_levels(threads: u32) -> Vec<(&'static str, [f64; 3])> {
             ]
             .map(|opts| {
                 let binary = compile_ref(name, opts);
-                run_mode(&binary, OptimisationMode::Full, threads).speedup()
+                run_mode(&binary, backend, OptimisationMode::Full, threads).speedup()
             });
             (*name, speedups)
         })
@@ -330,12 +348,12 @@ pub struct Table3Row {
 /// reproduction — the paper has no counterpart because Janus serialises
 /// these loops).
 #[must_use]
-pub fn table3_speculation(threads: u32) -> Vec<Table3Row> {
+pub fn table3_speculation(backend: BackendKind, threads: u32) -> Vec<Table3Row> {
     speculative_benchmarks()
         .iter()
         .map(|name| {
             let binary = compile_ref(name, CompileOptions::gcc_o3());
-            let report = run_mode(&binary, OptimisationMode::Full, threads);
+            let report = run_mode(&binary, backend, OptimisationMode::Full, threads);
             let stats = &report.parallel.stats;
             Table3Row {
                 name,
@@ -1186,8 +1204,9 @@ mod tests {
         // statically-driven configuration, which beats DynamoRIO-only.
         for name in ["470.lbm", "462.libquantum"] {
             let binary = compile_ref(name, CompileOptions::gcc_o3());
-            let dr = run_mode(&binary, OptimisationMode::DynamoRioOnly, 8).speedup();
-            let full = run_mode(&binary, OptimisationMode::Full, 8).speedup();
+            let backend = BackendKind::from_env();
+            let dr = run_mode(&binary, backend, OptimisationMode::DynamoRioOnly, 8).speedup();
+            let full = run_mode(&binary, backend, OptimisationMode::Full, 8).speedup();
             assert!(dr <= 1.05, "{name}: DBM alone must not speed up ({dr:.2})");
             assert!(full > 3.0, "{name}: Janus should scale well, got {full:.2}");
         }
@@ -1195,7 +1214,7 @@ mod tests {
 
     #[test]
     fn table3_speculation_parallelises_may_dependent_workloads() {
-        let rows = table3_speculation(8);
+        let rows = table3_speculation(BackendKind::from_env(), 8);
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.outputs_match, "{}: speculative output diverged", r.name);

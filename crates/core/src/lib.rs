@@ -846,12 +846,18 @@ impl Janus {
         dbm.set_input(ref_input);
         let parallel = dbm.run()?;
 
+        // Bit-equality first: `|a - b| <= tol` is false for NaN vs NaN, so a
+        // guest that prints NaN (0.0/0.0 is IEEE-legal in the JVA) would be
+        // reported as diverging even when both legs produced the identical
+        // bit pattern. Found by the differential fuzzer (seed 1093).
         let outputs_match = native_ints == parallel.output_ints
             && native_floats.len() == parallel.output_floats.len()
             && native_floats
                 .iter()
                 .zip(parallel.output_floats.iter())
-                .all(|(a, b)| (a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                .all(|(a, b)| {
+                    a.to_bits() == b.to_bits() || (a - b).abs() <= 1e-9 * a.abs().max(1.0)
+                });
 
         Ok(JanusReport {
             native,

@@ -267,16 +267,36 @@ impl Default for DbmConfig {
 }
 
 /// Whether the `JANUS_ADAPTIVE` environment variable asks for adaptive
-/// execution (`1`, `true`, `yes` or `on`, case-insensitive).
+/// execution (`1`, `true`, `yes` or `on`, case-insensitive). Unrecognised
+/// values fall back to *off* — the same lenient default `BackendKind::
+/// from_env` applies to `JANUS_BACKEND` — but loudly: a value like
+/// `JANUS_ADAPTIVE=2` is almost certainly a typo for "on", and silently
+/// running the static policy would invalidate whatever the caller was
+/// measuring.
 fn adaptive_from_env() -> bool {
-    std::env::var("JANUS_ADAPTIVE")
-        .map(|v| {
-            matches!(
-                v.trim().to_ascii_lowercase().as_str(),
-                "1" | "true" | "yes" | "on"
-            )
-        })
-        .unwrap_or(false)
+    match adaptive_from_value(std::env::var("JANUS_ADAPTIVE").ok().as_deref()) {
+        Ok(on) => on,
+        Err(value) => {
+            eprintln!(
+                "janus-dbm: unrecognised JANUS_ADAPTIVE value {value:?} \
+                 (expected 1/true/yes/on or 0/false/no/off); adaptive \
+                 execution stays OFF"
+            );
+            false
+        }
+    }
+}
+
+/// The pure decision behind [`adaptive_from_env`]: `Ok(true)` for truthy
+/// spellings, `Ok(false)` for unset/empty/falsy spellings, and
+/// `Err(original_value)` for anything unrecognised so the caller can warn.
+fn adaptive_from_value(value: Option<&str>) -> std::result::Result<bool, String> {
+    let Some(raw) = value else { return Ok(false) };
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "yes" | "on" => Ok(true),
+        "" | "0" | "false" | "no" | "off" => Ok(false),
+        _ => Err(raw.to_string()),
+    }
 }
 
 impl DbmConfig {
@@ -545,6 +565,28 @@ mod tests {
         assert_eq!(c.spec_commit, SpecCommitMode::Deterministic);
         assert_eq!(SpecCommitMode::Deterministic.label(), "deterministic");
         assert_eq!(SpecCommitMode::RacedImage.label(), "raced-image");
+    }
+
+    #[test]
+    fn adaptive_value_matrix() {
+        // Truthy spellings, in every case/whitespace disguise.
+        for v in ["1", "true", "yes", "on", "TRUE", " On ", "YeS"] {
+            assert_eq!(adaptive_from_value(Some(v)), Ok(true), "{v:?}");
+        }
+        // Falsy spellings and the unset/empty cases are off without fuss.
+        for v in ["0", "false", "no", "off", "OFF", " False ", ""] {
+            assert_eq!(adaptive_from_value(Some(v)), Ok(false), "{v:?}");
+        }
+        assert_eq!(adaptive_from_value(None), Ok(false));
+        // Garbage is rejected (the env wrapper warns and stays off) rather
+        // than silently meaning "off": `2` is a plausible typo for "on".
+        for v in ["2", "enabled", "adaptive", "-1", "tru e", "on off"] {
+            assert_eq!(
+                adaptive_from_value(Some(v)),
+                Err(v.to_string()),
+                "{v:?} must be rejected, not silently treated as off"
+            );
+        }
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! can be stripped. The static analyser, the profiler and the dynamic binary
 //! modifier all consume this container.
 
+use crate::digest::fnv1a;
 use crate::encode::INST_SIZE;
 use crate::error::{IrError, Result};
 use crate::layout::{DATA_BASE, TEXT_BASE};
@@ -419,17 +420,6 @@ impl fmt::Display for JBinary {
             self.symbols.len()
         )
     }
-}
-
-/// 64-bit FNV-1a over a byte slice — the shared content-digest primitive
-/// (dependency-free, stable across platforms).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {

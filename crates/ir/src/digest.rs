@@ -1,0 +1,56 @@
+//! The pipeline's shared content-digest primitive.
+//!
+//! Everything in the system that fingerprints bytes — the binary's
+//! [`crate::JBinary::content_digest`], the artifact store's on-disk
+//! checksums, incremental digests over memory images — uses the same
+//! 64-bit FNV-1a so the digest family can never drift apart between
+//! producers and consumers. FNV-1a is dependency-free, stable across
+//! platforms, and cheap enough to run over whole guest memory images.
+
+/// The FNV-1a 64-bit offset basis (the hash of the empty byte string).
+pub const FNV1A_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const FNV1A_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_update(FNV1A_OFFSET, bytes)
+}
+
+/// Folds more bytes into a running FNV-1a state, for incremental digests
+/// over discontiguous inputs. Seed the state with [`FNV1A_OFFSET`]; the
+/// result of digesting the concatenation equals digesting the pieces in
+/// order through this function.
+#[must_use]
+pub fn fnv1a_update(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(FNV1A_PRIME);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_fnv1a_vectors() {
+        // Reference vectors from the FNV specification (Landon Curt Noll).
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_update_equals_one_shot() {
+        let bytes = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..bytes.len() {
+            let (head, tail) = bytes.split_at(split);
+            let state = fnv1a_update(fnv1a(head), tail);
+            assert_eq!(state, fnv1a(bytes));
+        }
+    }
+}

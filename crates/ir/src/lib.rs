@@ -38,6 +38,7 @@
 
 mod binary;
 mod builder;
+pub mod digest;
 mod disasm;
 mod encode;
 mod error;
@@ -48,6 +49,7 @@ mod reg;
 
 pub use binary::{JBinary, PltEntry, Section, Symbol, SymbolKind};
 pub use builder::AsmBuilder;
+pub use digest::fnv1a;
 pub use disasm::{disassemble, disassemble_range, format_inst, DecodedInst};
 pub use encode::{decode, decode_at, encode, encode_into, INST_SIZE};
 pub use error::{IrError, Result};

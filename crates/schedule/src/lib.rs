@@ -330,6 +330,8 @@ impl RewriteSchedule {
     /// rule lists.
     #[must_use]
     pub fn content_digest(&self) -> u64 {
+        // Same FNV-1a family as `janus_ir::digest` — kept inline because
+        // janus-schedule deliberately has no dependencies.
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
         for b in self.to_bytes() {
             hash ^= u64::from(b);

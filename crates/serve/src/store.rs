@@ -61,6 +61,7 @@
 //! rebuilt without quarantine.
 
 use janus_core::{ArtifactDecodeError, PipelineArtifacts};
+use janus_ir::digest::fnv1a;
 use janus_obs::Recorder;
 use std::collections::HashMap;
 use std::fs;
@@ -76,16 +77,6 @@ pub const STORE_FORMAT_VERSION: u32 = 1;
 
 const STORE_MAGIC: &[u8; 4] = b"JSTO";
 const ENTRY_EXT: &str = "jpa";
-
-/// 64-bit FNV-1a, the same digest family the rest of the pipeline uses.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
 
 /// Per-entry bookkeeping for the byte-budget eviction policy.
 struct EntryMeta {

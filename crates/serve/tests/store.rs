@@ -18,6 +18,7 @@
 
 use janus_compile::{CompileOptions, Compiler};
 use janus_core::{BackendKind, Janus, JanusConfig};
+use janus_ir::digest::fnv1a;
 use janus_ir::JBinary;
 use janus_serve::{JobSpec, ServeConfig, ServeError, ServeSession, TenantQuota};
 use janus_workloads::{parallel_benchmarks, speculative_benchmarks, workload};
@@ -79,17 +80,6 @@ fn single_entry_path(dir: &Path) -> PathBuf {
         .collect();
     assert_eq!(entries.len(), 1, "exactly one persisted entry");
     entries.remove(0)
-}
-
-/// The store's own checksum function, reimplemented so tests can re-seal
-/// an entry after deliberately editing its payload.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 #[test]

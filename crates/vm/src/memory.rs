@@ -189,8 +189,7 @@ impl FlatMemory {
     /// backends left behind the same final memory image.
     #[must_use]
     pub fn image_digest(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        use janus_ir::digest::{fnv1a_update, FNV1A_OFFSET};
         let mut pages: Vec<&u64> = self
             .pages
             .iter()
@@ -198,14 +197,10 @@ impl FlatMemory {
             .map(|(n, _)| n)
             .collect();
         pages.sort_unstable();
-        let mut h = FNV_OFFSET;
+        let mut h = FNV1A_OFFSET;
         for page in pages {
-            for b in page.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
-            }
-            for b in self.pages[page].iter() {
-                h = (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME);
-            }
+            h = fnv1a_update(h, &page.to_le_bytes());
+            h = fnv1a_update(h, &self.pages[page][..]);
         }
         h
     }

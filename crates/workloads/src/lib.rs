@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod gen;
 pub mod suite;
 
+pub use gen::{ArraySpec, ElemTy, GenOp, LoopSpec, ProgramSpec};
 pub use suite::{
-    all_names, parallel_benchmarks, program_by_name, spec_suite, speculative_benchmarks, suite,
-    workload, Workload, WorkloadClass,
+    all_names, fuzz_regressions, parallel_benchmarks, program_by_name, spec_suite,
+    speculative_benchmarks, suite, workload, Workload, WorkloadClass,
 };

@@ -77,6 +77,23 @@ pub fn speculative_benchmarks() -> [&'static str; 4] {
     ]
 }
 
+/// Workloads promoted from differential-fuzzer counterexamples. The
+/// promotion rule: every minimal counterexample `janus_bench::fuzz` finds
+/// becomes a named workload here plus a named regression test, so the
+/// fuzzer only ever finds each bug once. Not part of the paper's suite.
+///
+/// * `fuzz.nan-scatter` — generator seed 1093 (shrunk): an aliasing
+///   pointer kernel feeding a shifted element-wise subtraction that drives
+///   an index table negative, consumed by a signed scatter-add, with an
+///   untouched bystander float array and a deliberate `0.0 / 0.0` print.
+///   Caught two bugs at once: `outputs_match` rejected bit-identical NaN
+///   streams, and the generated scatter's sign-following `%` indexed out
+///   of bounds, stomping the global below the destination array.
+#[must_use]
+pub fn fuzz_regressions() -> [&'static str; 1] {
+    ["fuzz.nan-scatter"]
+}
+
 /// Builds every speculative workload.
 #[must_use]
 pub fn spec_suite() -> Vec<Workload> {
@@ -158,6 +175,7 @@ pub fn workload(name: &str) -> Option<Workload> {
         "spec.sparse-update" => (WorkloadClass::MayDependent, spec_sparse_update),
         "spec.gather-scatter" => (WorkloadClass::MayDependent, spec_gather_scatter),
         "spec.doacross-window" => (WorkloadClass::MayDependent, spec_doacross_window),
+        "fuzz.nan-scatter" => (WorkloadClass::MayDependent, fuzz_nan_scatter),
         _ => return None,
     };
     let seed = name.bytes().map(u64::from).sum::<u64>();
@@ -171,6 +189,7 @@ pub fn workload(name: &str) -> Option<Workload> {
         name: all_names()
             .into_iter()
             .chain(speculative_benchmarks())
+            .chain(fuzz_regressions())
             .find(|n| *n == name)?,
         class,
         program,
@@ -842,6 +861,141 @@ fn spec_doacross_window(scale: u64) -> Program {
         .function(
             Function::new("main")
                 .local("i", Ty::I64)
+                .local("s", Ty::F64)
+                .body(body),
+        )
+        .build()
+}
+
+/// `fuzz.nan-scatter`: the shrunk differential-fuzzer counterexample from
+/// generator seed 1093, promoted per the rule on [`fuzz_regressions`]. An
+/// aliasing pointer kernel doubles `acc` in place, a shifted element-wise
+/// subtraction drives `table` negative, and a scatter-add consumes those
+/// signed values through a euclidean wrap (`((x % n) + n) % n` — the
+/// JVA's `Rem` follows the dividend's sign, so the single-`%` version of
+/// this workload wrote below `acc` and corrupted `bystander`). The
+/// deliberate `0.0 / 0.0` print pins NaN handling in the output-equality
+/// check: both legs print NaN and must still count as matching.
+fn fuzz_nan_scatter(scale: u64) -> Program {
+    let tn = (scale * 7) as i64; // table / weight length
+    let an = (scale * 8) as i64; // scatter destination length (differs from tn)
+    let wrap = |x: Expr| {
+        Expr::rem(
+            Expr::add(Expr::rem(x, Expr::const_i(an)), Expr::const_i(an)),
+            Expr::const_i(an),
+        )
+    };
+    let body = vec![
+        // Aliasing pointer kernel: kern(&acc, &acc, an) => acc[i] += acc[i].
+        Stmt::Call {
+            name: "kern".to_string(),
+            args: vec![
+                Expr::addr_of("acc"),
+                Expr::addr_of("acc"),
+                Expr::const_i(an),
+            ],
+            ret: None,
+        },
+        // Shifted element-wise subtraction pushes table values negative.
+        Stmt::simple_for(
+            "i",
+            Expr::const_i(0),
+            Expr::const_i(tn),
+            vec![Stmt::assign(
+                LValue::store("table", Expr::var("i")),
+                Expr::sub(
+                    Expr::load(
+                        "table",
+                        Expr::rem(
+                            Expr::add(Expr::var("i"), Expr::const_i(4)),
+                            Expr::const_i(tn),
+                        ),
+                    ),
+                    Expr::load(
+                        "acc",
+                        Expr::rem(
+                            Expr::add(Expr::var("i"), Expr::const_i(4)),
+                            Expr::const_i(an),
+                        ),
+                    ),
+                ),
+            )],
+        ),
+        // Scatter-add through the signed, euclidean-wrapped subscript.
+        Stmt::simple_for(
+            "i",
+            Expr::const_i(0),
+            Expr::const_i(tn),
+            vec![
+                Stmt::assign(LValue::var("t"), wrap(Expr::load("table", Expr::var("i")))),
+                Stmt::assign(
+                    LValue::store("acc", Expr::var("t")),
+                    Expr::add(
+                        Expr::load("acc", Expr::var("t")),
+                        Expr::load("table", Expr::var("i")),
+                    ),
+                ),
+            ],
+        ),
+        // The NaN pin: IEEE 0/0, printed from both execution legs.
+        Stmt::print(Expr::div(Expr::const_f(0.0), Expr::const_f(0.0))),
+        // Integer checksum over the scatter destination.
+        Stmt::assign(LValue::var("cs"), Expr::const_i(0)),
+        Stmt::simple_for(
+            "i",
+            Expr::const_i(0),
+            Expr::const_i(an),
+            vec![Stmt::assign(
+                LValue::var("cs"),
+                Expr::add(
+                    Expr::mul(Expr::var("cs"), Expr::const_i(31)),
+                    Expr::load("acc", Expr::var("i")),
+                ),
+            )],
+        ),
+        Stmt::print(Expr::var("cs")),
+        // The bystander must come through untouched: with the pre-fix
+        // single-`%` scatter this sum read as garbage.
+        Stmt::assign(LValue::var("s"), Expr::const_f(0.0)),
+        Stmt::simple_for(
+            "i",
+            Expr::const_i(0),
+            Expr::const_i(tn),
+            vec![Stmt::assign(
+                LValue::var("s"),
+                Expr::add(Expr::var("s"), Expr::load("bystander", Expr::var("i"))),
+            )],
+        ),
+        Stmt::print(Expr::var("s")),
+    ];
+    Program::builder("fuzz.nan-scatter")
+        .global(i64_array("acc", an as usize, 61))
+        .global(f64_array("bystander", tn as usize, 62))
+        .global(index_array("table", tn as usize, 63, an))
+        .function(
+            Function::new("kern")
+                .param("p", Ty::Ptr)
+                .param("q", Ty::Ptr)
+                .param("n", Ty::I64)
+                .local("i", Ty::I64)
+                .body(vec![Stmt::simple_for(
+                    "i",
+                    Expr::const_i(0),
+                    Expr::var("n"),
+                    vec![Stmt::assign(
+                        LValue::store_ptr("p", Expr::var("i")),
+                        Expr::add(
+                            Expr::load_ptr("p", Expr::var("i")),
+                            Expr::load_ptr("q", Expr::var("i")),
+                        ),
+                    )],
+                )]),
+        )
+        .function(
+            Function::new("main")
+                .local("i", Ty::I64)
+                .local("t", Ty::I64)
+                .local("cs", Ty::I64)
                 .local("s", Ty::F64)
                 .body(body),
         )

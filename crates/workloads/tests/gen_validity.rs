@@ -1,0 +1,107 @@
+//! Meta-tests for the guest-program generator (`janus_workloads::gen`):
+//! the differential fuzzer is only as good as the programs it feeds the
+//! pipeline, so this battery checks — over a block of consecutive seeds —
+//! that every generated program compiles, loads, runs to a clean exit
+//! within a bounded instruction count, prints at least its checksum
+//! epilogue, and that the generator's loop shapes actually cover the
+//! analyser's category space (DOALL, speculative and sequential shapes
+//! all appear with non-trivial frequency).
+
+use janus_analysis::{analyze, LoopCategory};
+use janus_compile::Compiler;
+use janus_vm::{Process, Vm};
+use janus_workloads::ProgramSpec;
+
+const SEEDS: u64 = 96;
+
+/// Generated guests are tiny by design; if one exceeds this retired-
+/// instruction budget it is not terminating the way the generator
+/// guarantees.
+const MAX_RETIRED: u64 = 50_000_000;
+
+#[test]
+fn every_generated_program_compiles_loads_and_terminates() {
+    for seed in 0..SEEDS {
+        let spec = ProgramSpec::generate(seed);
+        let program = spec.lower();
+        let binary = Compiler::new()
+            .compile(&program)
+            .unwrap_or_else(|e| panic!("seed {seed} failed to compile: {e}\n{spec}"));
+        let process = Process::load(&binary)
+            .unwrap_or_else(|e| panic!("seed {seed} failed to load: {e}\n{spec}"));
+        let mut vm = Vm::new(process);
+        let result = vm
+            .run()
+            .unwrap_or_else(|e| panic!("seed {seed} trapped: {e}\n{spec}"));
+        assert_eq!(result.exit_code, 0, "seed {seed} exited nonzero\n{spec}");
+        assert!(
+            result.retired <= MAX_RETIRED,
+            "seed {seed} retired {} instructions — runaway loop?\n{spec}",
+            result.retired
+        );
+        // The checksum epilogue prints once per array, so *something* must
+        // land on an output stream for every program.
+        assert!(
+            !vm.output_ints().is_empty() || !vm.output_floats().is_empty(),
+            "seed {seed} produced no output\n{spec}"
+        );
+    }
+}
+
+#[test]
+fn generated_shapes_cover_the_analyser_category_space() {
+    let mut histogram = [0usize; 6];
+    let mut total = 0usize;
+    for seed in 0..SEEDS {
+        let binary = Compiler::new()
+            .compile(&ProgramSpec::generate(seed).lower())
+            .expect("compiles");
+        let analysis = analyze(&binary).expect("analyses");
+        for (cat, n) in analysis.category_histogram() {
+            let slot = match cat {
+                LoopCategory::StaticDoall => 0,
+                LoopCategory::StaticDependence => 1,
+                LoopCategory::DynamicDoall => 2,
+                LoopCategory::DynamicDependence => 3,
+                LoopCategory::Speculative => 4,
+                LoopCategory::Incompatible => 5,
+            };
+            histogram[slot] += n;
+            total += n;
+        }
+    }
+    assert!(
+        total >= SEEDS as usize,
+        "generated programs must contain loops"
+    );
+    let doall = histogram[0] + histogram[2];
+    let sequential = histogram[1] + histogram[3] + histogram[5];
+    let speculative = histogram[4];
+    // "Non-trivial frequency": at least ~5% of all generated loops in each
+    // coarse bucket, so the fuzzer genuinely exercises the parallel path,
+    // the serial path and the speculation engine.
+    let floor = total / 20;
+    assert!(
+        doall > floor,
+        "too few DOALL shapes: {doall}/{total} (histogram {histogram:?})"
+    );
+    assert!(
+        sequential > floor,
+        "too few sequential shapes: {sequential}/{total} (histogram {histogram:?})"
+    );
+    assert!(
+        speculative > floor,
+        "too few speculative shapes: {speculative}/{total} (histogram {histogram:?})"
+    );
+}
+
+#[test]
+fn generation_is_pure_per_seed() {
+    for seed in [0u64, 17, 1093, 4096] {
+        assert_eq!(
+            ProgramSpec::generate(seed),
+            ProgramSpec::generate(seed),
+            "seed {seed} must generate identically every time"
+        );
+    }
+}
