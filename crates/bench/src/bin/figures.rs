@@ -40,14 +40,15 @@ fn usage() -> ! {
     let names: Vec<&str> = FIGURES.iter().map(|(n, _)| *n).collect();
     eprintln!(
         "usage: figures [{} | fuzz | all] [--backend virtual|native] \
-         [--threads N] [--cases N] [--seed S]",
+         [--threads N] [--cases N] [--seed S]\n       \
+         figures bench-diff BASELINE.json NEW.json [--wall-tol FRACTION]",
         names.join(" | ")
     );
     std::process::exit(2);
 }
 
 fn main() {
-    let mut which: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut threads: u32 = 8;
     // The backend is threaded explicitly through every figure function
     // (never written back into the environment); the flag overrides the
@@ -55,6 +56,7 @@ fn main() {
     let mut backend = BackendKind::from_env();
     let mut cases: usize = 256;
     let mut seed: u64 = 0;
+    let mut wall_tol: f64 = janus_bench::diff::DEFAULT_WALL_TOLERANCE;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,13 +88,33 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
-            name if !name.starts_with('-') && which.is_none() => {
-                which = Some(name.to_string());
+            "--wall-tol" => {
+                wall_tol = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| *t >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
+            name if !name.starts_with('-') => {
+                positionals.push(name.to_string());
             }
             _ => usage(),
         }
     }
-    let which = which.unwrap_or_else(|| "all".to_string());
+    let which = positionals
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if which == "bench-diff" {
+        let [_, baseline, fresh] = positionals.as_slice() else {
+            usage();
+        };
+        bench_diff(baseline, fresh, wall_tol);
+        return;
+    }
+    if positionals.len() > 1 {
+        usage();
+    }
     if which == "fuzz" {
         fuzz(cases, seed);
         return;
@@ -111,6 +133,48 @@ fn main() {
         Some((_, run)) => run(backend, threads),
         None => usage(),
     }
+}
+
+/// The regression sentinel: diff a fresh `BENCH_<backend>.json` against the
+/// committed baseline, failing (exit 1) on any correctness-counter change
+/// or a wall-clock regression past the tolerance. See `janus_bench::diff`.
+fn bench_diff(baseline: &str, fresh: &str, wall_tol: f64) {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old = read(baseline);
+    let new = read(fresh);
+    let diff = match bench::diff::diff_bench_json(&old, &new, wall_tol) {
+        Ok(diff) => diff,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "bench-diff: {} vs {}: {} metrics compared, {} skipped as \
+         nondeterministic, wall tolerance {:.0}%",
+        baseline,
+        fresh,
+        diff.compared,
+        diff.skipped,
+        wall_tol * 100.0
+    );
+    for note in &diff.notes {
+        println!("  note: {note}");
+    }
+    if diff.passed() {
+        println!("bench-diff: PASS");
+        return;
+    }
+    for failure in &diff.failures {
+        eprintln!("  FAIL: {failure}");
+    }
+    eprintln!("bench-diff: {} regression(s)", diff.failures.len());
+    std::process::exit(1);
 }
 
 /// The differential guest-program fuzzer: `cases` generated programs from

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod fuzz;
 
 use janus_analysis::LoopCategory;

@@ -77,6 +77,7 @@
 #![warn(missing_debug_implementations)]
 
 mod backend;
+mod meter;
 mod runtime;
 mod stm;
 mod tuner;

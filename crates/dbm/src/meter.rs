@@ -1,0 +1,181 @@
+//! Always-on metering of DBM execution against the process-global
+//! [`janus_obs::metrics`] registry.
+//!
+//! [`DbmConfig`](crate::DbmConfig) is `Copy`, so it cannot carry a registry
+//! handle; instead every run meters into
+//! [`Registry::global()`](janus_obs::metrics::global), labelled by backend.
+//! Handles are registered once per backend (a `OnceLock`) and cached, so
+//! the per-run cost is a batch of relaxed atomic adds at run end plus one
+//! histogram sample per parallel invocation — no locks, no allocation on
+//! the execution path.
+
+use crate::{BackendKind, DbmStats};
+use janus_obs::metrics::{global, Counter};
+use janus_obs::Histogram;
+use std::sync::{Arc, OnceLock};
+
+/// Cached global-registry handles for one backend label.
+#[derive(Debug)]
+pub(crate) struct BackendMeter {
+    runs: Arc<Counter>,
+    run_failures: Arc<Counter>,
+    guest_cycles: Arc<Counter>,
+    parallel_invocations: Arc<Counter>,
+    sequential_fallbacks: Arc<Counter>,
+    tune_parallel: Arc<Counter>,
+    tune_sequential: Arc<Counter>,
+    merge_pages_skipped: Arc<Counter>,
+    merge_pages_merged: Arc<Counter>,
+    spec_invocations: Arc<Counter>,
+    spec_executions: Arc<Counter>,
+    spec_validations: Arc<Counter>,
+    spec_aborts: Arc<Counter>,
+    spec_retries: Arc<Counter>,
+    spec_fallbacks: Arc<Counter>,
+    /// Wall-clock of each parallel region (chunk batch or speculative
+    /// invocation), nanoseconds. Meaningful on the native backend; the
+    /// virtual backend records zeros.
+    pub(crate) chunk_wall_nanos: Arc<Histogram>,
+    /// End-to-end wall clock of each completed run, nanoseconds.
+    run_wall_nanos: Arc<Histogram>,
+}
+
+impl BackendMeter {
+    fn register(backend: BackendKind) -> BackendMeter {
+        let registry = global();
+        let labels: &[(&'static str, &str)] = &[("backend", backend.label())];
+        BackendMeter {
+            runs: registry.counter(
+                "janus_dbm_runs_total",
+                "Guest programs run to completion under DBM control.",
+                labels,
+            ),
+            run_failures: registry.counter(
+                "janus_dbm_run_failures_total",
+                "DBM runs that ended in an error (fault or cycle limit).",
+                labels,
+            ),
+            guest_cycles: registry.counter(
+                "janus_dbm_guest_cycles_total",
+                "Modelled guest cycles consumed by completed runs.",
+                labels,
+            ),
+            parallel_invocations: registry.counter(
+                "janus_dbm_parallel_invocations_total",
+                "Loop invocations executed in parallel (chunked).",
+                labels,
+            ),
+            sequential_fallbacks: registry.counter(
+                "janus_dbm_sequential_fallbacks_total",
+                "Parallel-candidate invocations that fell back to sequential \
+                 execution (failed bounds check or too few iterations).",
+                labels,
+            ),
+            tune_parallel: registry.counter(
+                "janus_dbm_tune_parallel_decisions_total",
+                "Adaptive-tuner decisions that chose or kept parallel execution.",
+                labels,
+            ),
+            tune_sequential: registry.counter(
+                "janus_dbm_tune_sequential_decisions_total",
+                "Adaptive-tuner decisions that forced the sequential path.",
+                labels,
+            ),
+            merge_pages_skipped: registry.counter(
+                "janus_dbm_merge_pages_skipped_total",
+                "Guest pages the page-aware overlay merge skipped untouched.",
+                labels,
+            ),
+            merge_pages_merged: registry.counter(
+                "janus_dbm_merge_pages_merged_total",
+                "Guest pages the overlay merge actually visited.",
+                labels,
+            ),
+            spec_invocations: registry.counter(
+                "janus_spec_invocations_total",
+                "Loop invocations executed under iteration-level speculation.",
+                labels,
+            ),
+            spec_executions: registry.counter(
+                "janus_spec_executions_total",
+                "Iteration incarnations executed to completion.",
+                labels,
+            ),
+            spec_validations: registry.counter(
+                "janus_spec_validations_total",
+                "Validation tasks performed by the speculative engine.",
+                labels,
+            ),
+            spec_aborts: registry.counter(
+                "janus_spec_aborts_total",
+                "Speculative aborts (failed validations, estimate stalls, \
+                 retried faults). Abort rate = aborts / executions.",
+                labels,
+            ),
+            spec_retries: registry.counter(
+                "janus_spec_retries_total",
+                "Conflict-driven iteration re-executions beyond the first \
+                 incarnation.",
+                labels,
+            ),
+            spec_fallbacks: registry.counter(
+                "janus_spec_fallbacks_total",
+                "Speculative invocations abandoned and re-run sequentially.",
+                labels,
+            ),
+            chunk_wall_nanos: registry.histogram(
+                "janus_dbm_chunk_wall_nanos",
+                "Wall-clock nanoseconds per parallel region (chunk batch or \
+                 speculative invocation); zeros under the virtual backend.",
+                labels,
+            ),
+            run_wall_nanos: registry.histogram(
+                "janus_dbm_run_wall_nanos",
+                "End-to-end wall-clock nanoseconds per completed DBM run.",
+                labels,
+            ),
+        }
+    }
+}
+
+/// The cached meter for `backend`. First call per process registers the
+/// families; every later call is a static array index.
+pub(crate) fn meter(backend: BackendKind) -> &'static BackendMeter {
+    static METERS: OnceLock<[BackendMeter; 2]> = OnceLock::new();
+    let meters = METERS.get_or_init(|| {
+        [
+            BackendMeter::register(BackendKind::VirtualTime),
+            BackendMeter::register(BackendKind::NativeThreads),
+        ]
+    });
+    match backend {
+        BackendKind::VirtualTime => &meters[0],
+        BackendKind::NativeThreads => &meters[1],
+    }
+}
+
+/// Publishes one completed run's cumulative [`DbmStats`] to the global
+/// registry — called exactly once, when `Dbm::run` returns `Ok`.
+pub(crate) fn record_run(backend: BackendKind, stats: &DbmStats, cycles: u64, wall_nanos: u64) {
+    let m = meter(backend);
+    m.runs.inc();
+    m.guest_cycles.add(cycles);
+    m.parallel_invocations.add(stats.parallel_invocations);
+    m.sequential_fallbacks.add(stats.sequential_fallbacks);
+    m.tune_parallel.add(stats.tune_parallel_decisions);
+    m.tune_sequential.add(stats.tune_sequential_decisions);
+    m.merge_pages_skipped.add(stats.merge_pages_skipped);
+    m.merge_pages_merged.add(stats.merge_pages_merged);
+    m.spec_invocations.add(stats.spec_invocations);
+    m.spec_executions.add(stats.spec_executions);
+    m.spec_validations.add(stats.spec_validations);
+    m.spec_aborts.add(stats.spec_aborts);
+    m.spec_retries.add(stats.spec_retries());
+    m.spec_fallbacks.add(stats.spec_fallbacks);
+    m.run_wall_nanos.record(wall_nanos);
+}
+
+/// Counts a run that ended in an error.
+pub(crate) fn record_run_failure(backend: BackendKind) {
+    meter(backend).run_failures.inc();
+}

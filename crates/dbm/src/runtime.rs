@@ -441,7 +441,17 @@ impl Dbm {
     ///
     /// Returns an error if guest execution faults or the cycle limit is
     /// exceeded.
-    pub fn run(mut self) -> Result<DbmRunResult> {
+    pub fn run(self) -> Result<DbmRunResult> {
+        let backend = self.config.backend;
+        let result = self.run_inner();
+        match &result {
+            Ok(res) => crate::meter::record_run(backend, &res.stats, res.cycles, res.wall_nanos),
+            Err(_) => crate::meter::record_run_failure(backend),
+        }
+        result
+    }
+
+    fn run_inner(mut self) -> Result<DbmRunResult> {
         let wall_start = Instant::now();
         loop {
             let total = self.main.cycles;
@@ -877,6 +887,9 @@ impl Dbm {
         self.stats.breakdown.parallel += batch.parallel_cycles;
         self.stats.os_threads_used = self.stats.os_threads_used.max(batch.os_threads);
         self.stats.parallel_wall_nanos += batch.wall_nanos;
+        crate::meter::meter(self.config.backend)
+            .chunk_wall_nanos
+            .record(batch.wall_nanos);
         self.stats.merge_pages_skipped += batch.merge.pages_skipped;
         self.stats.merge_pages_merged += batch.merge.pages_merged;
         if batch.merge.pages_skipped > 0 {
@@ -1139,6 +1152,9 @@ impl Dbm {
         );
         self.mem = base;
         self.stats.parallel_wall_nanos += invocation.wall_nanos;
+        crate::meter::meter(self.config.backend)
+            .chunk_wall_nanos
+            .record(invocation.wall_nanos);
         self.stats.os_threads_used = self.stats.os_threads_used.max(invocation.os_threads);
 
         let outcome = match invocation.result {

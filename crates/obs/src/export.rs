@@ -1,8 +1,8 @@
 //! Exporters: Chrome trace-event JSON (Perfetto-loadable), a JSONL event
 //! log, and a Prometheus-style text snapshot of the histogram registry.
 
-use crate::hist::{bucket_upper_bound, BUCKETS};
 use crate::json::escape;
+use crate::metrics::{escape_help, render_histogram_series};
 use crate::{ArgValue, Phase, Recorder};
 use std::fmt::Write as _;
 
@@ -126,9 +126,12 @@ impl Recorder {
         out
     }
 
-    /// Renders the histogram registry as Prometheus text-format metrics
-    /// (`janus_<name>_bucket{le="..."}` cumulative counts plus `_sum`,
-    /// `_count` and a `_max` gauge). Empty on a disabled recorder.
+    /// Renders the histogram registry as Prometheus text-format metrics:
+    /// `# HELP`/`# TYPE` once per family, `janus_<name>_bucket{le="..."}`
+    /// cumulative counts plus `_sum`, `_count` and a `_max` gauge family.
+    /// The output round-trips through
+    /// [`metrics::parse_exposition`](crate::metrics::parse_exposition).
+    /// Empty on a disabled recorder.
     #[must_use]
     pub fn prometheus_text(&self) -> String {
         let mut out = String::new();
@@ -138,26 +141,21 @@ impl Recorder {
                 .collect()
         };
         for (name, hist) in self.histograms() {
-            let snap = hist.snapshot();
             let metric = format!("janus_{}_nanos", sanitize(&name));
+            let _ = writeln!(
+                out,
+                "# HELP {metric} Recorder histogram {} (nanoseconds).",
+                escape_help(&name)
+            );
             let _ = writeln!(out, "# TYPE {metric} histogram");
-            let mut cumulative = 0u64;
-            for i in 0..BUCKETS {
-                if snap.buckets[i] == 0 {
-                    continue;
-                }
-                cumulative += snap.buckets[i];
-                let _ = writeln!(
-                    out,
-                    "{metric}_bucket{{le=\"{}\"}} {cumulative}",
-                    bucket_upper_bound(i)
-                );
-            }
-            let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", snap.count);
-            let _ = writeln!(out, "{metric}_sum {}", snap.sum);
-            let _ = writeln!(out, "{metric}_count {}", snap.count);
+            render_histogram_series(&mut out, &metric, &[], &hist);
+            let _ = writeln!(
+                out,
+                "# HELP {metric}_max Largest value recorded by {}.",
+                escape_help(&name)
+            );
             let _ = writeln!(out, "# TYPE {metric}_max gauge");
-            let _ = writeln!(out, "{metric}_max {}", snap.max);
+            let _ = writeln!(out, "{metric}_max {}", hist.snapshot().max);
         }
         out
     }

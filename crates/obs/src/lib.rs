@@ -46,6 +46,7 @@ pub mod ewma;
 mod export;
 mod hist;
 pub mod json;
+pub mod metrics;
 
 pub use hist::{
     bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, LatencyStats, BUCKETS,

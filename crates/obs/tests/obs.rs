@@ -296,6 +296,34 @@ fn prometheus_export_has_cumulative_buckets() {
 }
 
 #[test]
+fn recorder_prometheus_text_round_trips_through_the_parser() {
+    let rec = Recorder::enabled();
+    let h = rec.histogram("job.wall");
+    for v in [7u64, 9, 4096] {
+        h.record(v);
+    }
+    rec.histogram("queue.wait").record(123);
+    let doc = janus_obs::metrics::parse_exposition(&rec.prometheus_text())
+        .expect("recorder exposition parses");
+    assert!(
+        doc.help.contains_key("janus_job_wall_nanos"),
+        "HELP per family"
+    );
+    assert_eq!(
+        doc.families.get("janus_job_wall_nanos").map(String::as_str),
+        Some("histogram")
+    );
+    assert_eq!(doc.value("janus_job_wall_nanos_count", &[]), Some(3.0));
+    assert_eq!(doc.value("janus_job_wall_nanos_sum", &[]), Some(4112.0));
+    assert_eq!(
+        doc.value("janus_job_wall_nanos_bucket", &[("le", "+Inf")]),
+        Some(3.0)
+    );
+    assert_eq!(doc.value("janus_queue_wait_nanos_count", &[]), Some(1.0));
+    assert_eq!(doc.value("janus_job_wall_nanos_max", &[]), Some(4096.0));
+}
+
+#[test]
 fn concurrent_recording_from_many_threads_is_complete_or_counted() {
     let rec = Recorder::with_capacity(64);
     std::thread::scope(|scope| {

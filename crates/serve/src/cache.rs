@@ -4,6 +4,7 @@
 //! over a persistent [`ArtifactStore`] disk tier, probed on every memory
 //! miss before the pipeline is re-run.
 
+use crate::metrics::CacheMeter;
 use crate::store::ArtifactStore;
 use crate::ServeError;
 use janus_core::{PipelineArtifacts, PreparedDbm};
@@ -113,6 +114,10 @@ pub struct ArtifactCache {
     misses: AtomicU64,
     inflight_waits: AtomicU64,
     evictions: AtomicU64,
+    /// Registry handles mirroring the counters above; detached (metering
+    /// into nowhere, same cost) unless a serving session installed its own
+    /// via [`ArtifactCache::set_meter`].
+    meter: CacheMeter,
 }
 
 impl std::fmt::Debug for ArtifactCache {
@@ -150,7 +155,13 @@ impl ArtifactCache {
             misses: AtomicU64::new(0),
             inflight_waits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            meter: CacheMeter::default(),
         }
+    }
+
+    /// Installs the registry handles the cache's counters mirror into.
+    pub(crate) fn set_meter(&mut self, meter: CacheMeter) {
+        self.meter = meter;
     }
 
     /// A two-tier cache: the in-memory tier of [`ArtifactCache::with_shards`]
@@ -238,10 +249,12 @@ impl ArtifactCache {
         match claim {
             Claim::Hit(artifact) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.meter.hits.inc();
                 Ok(artifact)
             }
             Claim::Wait(gate) => {
                 self.inflight_waits.fetch_add(1, Ordering::Relaxed);
+                self.meter.inflight_waits.inc();
                 let mut result = gate.result.lock().expect("build gate poisoned");
                 while result.is_none() {
                     result = gate.ready.wait(result).expect("build gate poisoned");
@@ -260,6 +273,7 @@ impl ArtifactCache {
                     Some(pipeline) => hydrate(pipeline),
                     None => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.meter.misses.inc();
                         let built = build();
                         if let (Ok(artifact), Some(store)) = (&built, &self.store) {
                             store.store(&artifact.pipeline, self.fingerprint);
@@ -314,6 +328,7 @@ impl ArtifactCache {
             let Some(victim) = victim else { break };
             shard.slots.remove(&victim);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.meter.evictions.inc();
         }
     }
 

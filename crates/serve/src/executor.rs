@@ -4,7 +4,9 @@
 //! jobs via the cached [`PreparedDbm`](janus_core::PreparedDbm).
 
 use crate::cache::{Artifact, ArtifactCache};
+use crate::metrics::{CacheMeter, ServeMeter, StoreMeter, TenantMeter};
 use crate::store::ArtifactStore;
+use crate::telemetry::TelemetryServer;
 use crate::{
     JobId, JobOutcome, JobReport, JobSpec, ServeConfig, ServeError, ServeStats, DEFAULT_TENANT,
 };
@@ -38,7 +40,11 @@ struct PendingJob {
     submitted: Instant,
 }
 
-/// One tenant's FIFO backlog plus its deficit-round-robin account.
+/// One tenant's FIFO backlog plus its deficit-round-robin account and SLO
+/// ledger. Entries persist for the session's lifetime (an emptied tenant
+/// leaves the scheduling ring but keeps its counters), so
+/// [`ServeHandle::tenant_stats`] and the per-tenant metric families cover
+/// every tenant that ever submitted.
 struct TenantQueue {
     queue: VecDeque<PendingJob>,
     /// Accumulated tokens; a job starts only when the deficit covers its
@@ -46,6 +52,15 @@ struct TenantQueue {
     deficit: u64,
     /// Tokens granted per scheduler round ([`crate::TenantQuota::quantum`]).
     quantum: u64,
+    /// Jobs dequeued (started) for this tenant.
+    served: u64,
+    /// Completed deadline-carrying jobs that finished within budget.
+    deadline_hit: u64,
+    /// Completed deadline-carrying jobs that overran.
+    deadline_missed: u64,
+    /// The tenant's registered metric handles (deficit/pending gauges, SLO
+    /// counters), updated alongside the fields above.
+    meter: Arc<TenantMeter>,
 }
 
 /// The submission queues and result store, guarded by one mutex.
@@ -89,15 +104,25 @@ impl QueueState {
             let head_cost = tq.queue.front().expect("non-empty queue").cost_tokens;
             if tq.deficit < head_cost {
                 tq.deficit += tq.quantum;
+                tq.meter
+                    .deficit
+                    .set(i64::try_from(tq.deficit).unwrap_or(i64::MAX));
                 self.ring.rotate_left(1);
                 continue;
             }
             tq.deficit -= head_cost;
+            tq.served += 1;
+            tq.meter
+                .deficit
+                .set(i64::try_from(tq.deficit).unwrap_or(i64::MAX));
+            tq.meter.served.inc();
             let pending = tq.queue.pop_front().expect("non-empty queue");
+            tq.meter.pending.dec();
             if tq.queue.is_empty() {
                 // Leave the ring (and bank nothing): the tenant re-enters
                 // at the back on its next submission.
                 tq.deficit = 0;
+                tq.meter.deficit.set(0);
                 self.ring.pop_front();
             } else {
                 // One job per visit: rotate so equal-cost tenants
@@ -167,8 +192,9 @@ fn config_fingerprint(janus: &Janus, train_input: &[i64]) -> u64 {
     hash
 }
 
-/// State shared between the handle and the worker threads.
-struct Shared {
+/// State shared between the handle, the worker threads and the telemetry
+/// endpoint.
+pub(crate) struct Shared {
     janus: Janus,
     config: ServeConfig,
     cache: ArtifactCache,
@@ -183,6 +209,10 @@ struct Shared {
     hist_queue_wait: Arc<Histogram>,
     /// Guest execution alone, excluding artifact resolution.
     hist_execute: Arc<Histogram>,
+    /// Always-on metrics handles: registered once at session start against
+    /// [`ServeConfig::metrics`] (or the process-global registry), updated
+    /// with relaxed atomics alongside the session's own counters below.
+    meter: ServeMeter,
     state: Mutex<QueueState>,
     /// Wakes workers when a job is queued (or shutdown begins).
     work_ready: Condvar,
@@ -195,7 +225,138 @@ struct Shared {
     jobs_rejected: AtomicU64,
     jobs_deadline_rejected: AtomicU64,
     jobs_quota_rejected: AtomicU64,
+    jobs_deadline_hit: AtomicU64,
+    jobs_deadline_missed: AtomicU64,
     max_in_flight_seen: AtomicU64,
+}
+
+/// One tenant's public snapshot ([`ServeHandle::tenant_stats`] and the
+/// `/statusz` telemetry endpoint): backlog, fair-scheduler account and
+/// deadline SLO ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSnapshot {
+    /// The tenant's name ([`crate::DEFAULT_TENANT`] for unlabelled jobs).
+    pub tenant: String,
+    /// Jobs currently queued for this tenant.
+    pub pending: u64,
+    /// The tenant's current deficit-round-robin balance (tokens).
+    pub deficit: u64,
+    /// Tokens granted per scheduler round.
+    pub quantum: u64,
+    /// Jobs dequeued (started) for this tenant over the session.
+    pub served: u64,
+    /// Completed deadline-carrying jobs that finished within budget.
+    pub deadline_hit: u64,
+    /// Completed deadline-carrying jobs that overran.
+    pub deadline_missed: u64,
+}
+
+impl Shared {
+    /// The full [`ServeStats`] snapshot (see [`ServeHandle::stats`]).
+    pub(crate) fn stats_snapshot(&self) -> ServeStats {
+        let (pending, running) = {
+            let state = self.state.lock().expect("serve queue poisoned");
+            (state.pending_total as u64, state.running as u64)
+        };
+        let disk = self.cache.disk_store();
+        let disk_stat = |get: fn(&ArtifactStore) -> u64| disk.map_or(0, get);
+        ServeStats {
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_inflight_waits: self.cache.inflight_waits(),
+            cache_evictions: self.cache.evictions(),
+            cache_entries: self.cache.len() as u64,
+            disk_hits: disk_stat(ArtifactStore::hits),
+            disk_misses: disk_stat(ArtifactStore::misses),
+            disk_corrupt: disk_stat(ArtifactStore::corrupt),
+            disk_evicted_bytes: disk_stat(ArtifactStore::evicted_bytes),
+            disk_entries: disk.map_or(0, |s| s.entries() as u64),
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_failed: self.jobs_failed.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_deadline_rejected: self.jobs_deadline_rejected.load(Ordering::Relaxed),
+            jobs_quota_rejected: self.jobs_quota_rejected.load(Ordering::Relaxed),
+            jobs_deadline_hit: self.jobs_deadline_hit.load(Ordering::Relaxed),
+            jobs_deadline_missed: self.jobs_deadline_missed.load(Ordering::Relaxed),
+            jobs_pending: pending,
+            jobs_running: running,
+            max_in_flight_seen: self.max_in_flight_seen.load(Ordering::Relaxed),
+            job_wall: self.hist_job_wall.latency_stats(),
+            job_queue_wait: self.hist_queue_wait.latency_stats(),
+            job_execute: self.hist_execute.latency_stats(),
+        }
+    }
+
+    /// Per-tenant snapshots, name-sorted (see [`ServeHandle::tenant_stats`]).
+    pub(crate) fn tenant_snapshots(&self) -> Vec<TenantSnapshot> {
+        let state = self.state.lock().expect("serve queue poisoned");
+        let mut out: Vec<TenantSnapshot> = state
+            .tenants
+            .iter()
+            .map(|(name, tq)| TenantSnapshot {
+                tenant: name.to_string(),
+                pending: tq.queue.len() as u64,
+                deficit: tq.deficit,
+                quantum: tq.quantum,
+                served: tq.served,
+                deadline_hit: tq.deadline_hit,
+                deadline_missed: tq.deadline_missed,
+            })
+            .collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+
+    /// Re-samples the point-in-time gauges from their sources of truth.
+    /// Called by the telemetry endpoint before every render, so a scrape
+    /// always sees current occupancy without the hot path ever touching a
+    /// gauge it does not own.
+    pub(crate) fn refresh_gauges(&self) {
+        let (pending, running) = {
+            let state = self.state.lock().expect("serve queue poisoned");
+            (state.pending_total, state.running)
+        };
+        let meter = &self.meter;
+        let as_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        meter.queue_depth.set(as_i64(pending as u64));
+        meter.jobs_running.set(as_i64(running as u64));
+        meter
+            .in_flight_max
+            .set(as_i64(self.max_in_flight_seen.load(Ordering::Relaxed)));
+        meter.cache_entries.set(as_i64(self.cache.len() as u64));
+        if let Some(disk) = self.cache.disk_store() {
+            meter.store_entries.set(as_i64(disk.entries() as u64));
+            meter.store_bytes.set(as_i64(disk.total_bytes()));
+        }
+    }
+
+    /// Bytes occupied by the disk store (0 when none is configured).
+    pub(crate) fn disk_store_bytes(&self) -> u64 {
+        self.cache
+            .disk_store()
+            .map_or(0, ArtifactStore::total_bytes)
+    }
+
+    /// The session's metrics sink (the telemetry endpoint renders it).
+    pub(crate) fn meter(&self) -> &ServeMeter {
+        &self.meter
+    }
+
+    /// The session's flight recorder (the telemetry endpoint's `/tracez`).
+    pub(crate) fn recorder(&self) -> &Recorder {
+        &self.trace
+    }
+
+    /// The session's configuration (saturation verdicts for `/healthz`).
+    pub(crate) fn serve_config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Whether shutdown has begun.
+    pub(crate) fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
 }
 
 /// A running serving session: worker pool plus submission interface.
@@ -210,6 +371,9 @@ struct Shared {
 pub struct ServeHandle {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// The live telemetry endpoint ([`ServeConfig::telemetry_addr`]), shut
+    /// down with the session.
+    telemetry: Option<TelemetryServer>,
 }
 
 impl std::fmt::Debug for ServeHandle {
@@ -232,7 +396,12 @@ impl ServeHandle {
         let trace = config.trace.clone();
         let janus = janus.with_trace(trace.clone());
         let fingerprint = config_fingerprint(&janus, &config.train_input);
-        let cache = match &config.store_dir {
+        // Metrics are always on: the configured registry, or the process
+        // global. Registration happens here, once; every event site after
+        // this is a relaxed atomic on a cached handle.
+        let registry = config.effective_metrics();
+        let meter = ServeMeter::register(&registry);
+        let mut cache = match &config.store_dir {
             Some(dir) => {
                 let mut store = ArtifactStore::open(dir, config.store_max_bytes).map_err(|e| {
                     ServeError::Store {
@@ -240,6 +409,7 @@ impl ServeHandle {
                     }
                 })?;
                 store.set_recorder(trace.clone());
+                store.set_meter(StoreMeter::register(&registry));
                 ArtifactCache::with_disk_store(
                     config.cache_capacity,
                     config.cache_shards,
@@ -249,6 +419,8 @@ impl ServeHandle {
             }
             None => ArtifactCache::with_shards(config.cache_capacity, config.cache_shards),
         };
+        cache.set_meter(CacheMeter::register(&registry));
+        let telemetry_addr = config.telemetry_addr.clone();
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             janus,
@@ -259,6 +431,7 @@ impl ServeHandle {
             hist_queue_wait: trace.histogram("serve.job.queue_wait"),
             hist_execute: trace.histogram("serve.job.execute"),
             trace,
+            meter,
             state: Mutex::new(QueueState::default()),
             work_ready: Condvar::new(),
             job_done: Condvar::new(),
@@ -269,8 +442,17 @@ impl ServeHandle {
             jobs_rejected: AtomicU64::new(0),
             jobs_deadline_rejected: AtomicU64::new(0),
             jobs_quota_rejected: AtomicU64::new(0),
+            jobs_deadline_hit: AtomicU64::new(0),
+            jobs_deadline_missed: AtomicU64::new(0),
             max_in_flight_seen: AtomicU64::new(0),
         });
+        let telemetry = match telemetry_addr {
+            Some(addr) => Some(
+                TelemetryServer::start(&addr, shared.clone())
+                    .map_err(|reason| ServeError::Telemetry { reason })?,
+            ),
+            None => None,
+        };
         let workers = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
@@ -280,7 +462,11 @@ impl ServeHandle {
                     .expect("spawn serving worker")
             })
             .collect();
-        Ok(ServeHandle { shared, workers })
+        Ok(ServeHandle {
+            shared,
+            workers,
+            telemetry,
+        })
     }
 
     /// Submits one job. Admission control applies, in order: a full pending
@@ -310,6 +496,7 @@ impl ServeHandle {
         let limit = shared.config.effective_max_in_flight();
         if state.pending_total >= shared.config.queue_depth || in_flight >= limit {
             shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.meter.rejected_saturated.inc();
             if shared.trace.is_enabled() {
                 shared.trace.instant(
                     "serve.job",
@@ -326,6 +513,7 @@ impl ServeHandle {
         let tenant_pending = state.tenants.get(&tenant_name).map_or(0, |t| t.queue.len());
         if quota.max_pending > 0 && tenant_pending >= quota.max_pending {
             shared.jobs_quota_rejected.fetch_add(1, Ordering::Relaxed);
+            shared.meter.rejected_quota.inc();
             if shared.trace.is_enabled() {
                 shared.trace.instant(
                     "serve.job",
@@ -354,6 +542,7 @@ impl ServeHandle {
                 shared
                     .jobs_deadline_rejected
                     .fetch_add(1, Ordering::Relaxed);
+                shared.meter.rejected_deadline.inc();
                 if shared.trace.is_enabled() {
                     shared.trace.instant(
                         "serve.job",
@@ -384,6 +573,10 @@ impl ServeHandle {
                     queue: VecDeque::new(),
                     deficit: 0,
                     quantum: quota.quantum.max(1),
+                    served: 0,
+                    deadline_hit: 0,
+                    deadline_missed: 0,
+                    meter: shared.meter.tenant(&tenant_name),
                 });
         let was_empty = tenant_queue.queue.is_empty();
         tenant_queue.queue.push_back(PendingJob {
@@ -393,12 +586,14 @@ impl ServeHandle {
             est_nanos,
             submitted: Instant::now(),
         });
+        tenant_queue.meter.pending.inc();
         if was_empty {
             state.ring.push_back(tenant_name);
         }
         state.pending_total += 1;
         state.pending_est_nanos += est_nanos;
         shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        shared.meter.jobs_submitted.inc();
         shared
             .max_in_flight_seen
             .fetch_max(in_flight as u64 + 1, Ordering::Relaxed);
@@ -446,41 +641,26 @@ impl ServeHandle {
     }
 
     /// Snapshots the session's counters: cache hit/miss/in-flight/eviction,
-    /// disk-store traffic, job admission and completion, and the in-flight
-    /// high-water mark.
+    /// disk-store traffic, job admission and completion, deadline SLO
+    /// outcomes, and the in-flight high-water mark.
     #[must_use]
     pub fn stats(&self) -> ServeStats {
-        let shared = &self.shared;
-        let (pending, running) = {
-            let state = shared.state.lock().expect("serve queue poisoned");
-            (state.pending_total as u64, state.running as u64)
-        };
-        let disk = shared.cache.disk_store();
-        let disk_stat = |get: fn(&ArtifactStore) -> u64| disk.map_or(0, get);
-        ServeStats {
-            cache_hits: shared.cache.hits(),
-            cache_misses: shared.cache.misses(),
-            cache_inflight_waits: shared.cache.inflight_waits(),
-            cache_evictions: shared.cache.evictions(),
-            cache_entries: shared.cache.len() as u64,
-            disk_hits: disk_stat(ArtifactStore::hits),
-            disk_misses: disk_stat(ArtifactStore::misses),
-            disk_corrupt: disk_stat(ArtifactStore::corrupt),
-            disk_evicted_bytes: disk_stat(ArtifactStore::evicted_bytes),
-            disk_entries: disk.map_or(0, |s| s.entries() as u64),
-            jobs_submitted: shared.jobs_submitted.load(Ordering::Relaxed),
-            jobs_completed: shared.jobs_completed.load(Ordering::Relaxed),
-            jobs_failed: shared.jobs_failed.load(Ordering::Relaxed),
-            jobs_rejected: shared.jobs_rejected.load(Ordering::Relaxed),
-            jobs_deadline_rejected: shared.jobs_deadline_rejected.load(Ordering::Relaxed),
-            jobs_quota_rejected: shared.jobs_quota_rejected.load(Ordering::Relaxed),
-            jobs_pending: pending,
-            jobs_running: running,
-            max_in_flight_seen: shared.max_in_flight_seen.load(Ordering::Relaxed),
-            job_wall: shared.hist_job_wall.latency_stats(),
-            job_queue_wait: shared.hist_queue_wait.latency_stats(),
-            job_execute: shared.hist_execute.latency_stats(),
-        }
+        self.shared.stats_snapshot()
+    }
+
+    /// Snapshots every tenant that ever submitted to this session: backlog,
+    /// scheduler account and deadline SLO ledger, sorted by tenant name.
+    #[must_use]
+    pub fn tenant_stats(&self) -> Vec<TenantSnapshot> {
+        self.shared.tenant_snapshots()
+    }
+
+    /// The telemetry endpoint's bound address (useful with an ephemeral
+    /// `"host:0"` [`ServeConfig::telemetry_addr`]); `None` when no endpoint
+    /// was configured.
+    #[must_use]
+    pub fn telemetry_addr(&self) -> Option<std::net::SocketAddr> {
+        self.telemetry.as_ref().map(TelemetryServer::local_addr)
     }
 
     /// The session's flight recorder ([`ServeConfig::trace`]) — the same
@@ -506,6 +686,9 @@ impl ServeHandle {
         self.shared.work_ready.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(telemetry) = self.telemetry.take() {
+            telemetry.shutdown();
         }
     }
 }
@@ -547,6 +730,7 @@ fn worker_loop(shared: &Shared, index: usize) {
         // which may overlap this worker's own job span — only when it is.
         let wait_nanos = u64::try_from(submitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
         shared.hist_queue_wait.record(wait_nanos);
+        shared.meter.hist_queue_wait.record(wait_nanos);
         if shared.trace.is_enabled() {
             let end = shared.trace.now_nanos();
             shared.trace.async_span(
@@ -566,11 +750,40 @@ fn worker_loop(shared: &Shared, index: usize) {
         let result = run_job(shared, id, &job, sequence);
         if result.is_err() {
             shared.jobs_failed.fetch_add(1, Ordering::Relaxed);
+            shared.meter.jobs_failed.inc();
         }
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        shared.meter.jobs_completed.inc();
+        // Deadline SLO attainment, judged on the latency the submitter
+        // experienced: submission through completion. Admission promised
+        // nothing it could not keep; here is where the promise is audited.
+        let deadline_outcome = job.deadline.map(|deadline| submitted.elapsed() <= deadline);
+        match deadline_outcome {
+            Some(true) => {
+                shared.jobs_deadline_hit.fetch_add(1, Ordering::Relaxed);
+                shared.meter.deadline_hit.inc();
+            }
+            Some(false) => {
+                shared.jobs_deadline_missed.fetch_add(1, Ordering::Relaxed);
+                shared.meter.deadline_missed.inc();
+            }
+            None => {}
+        }
         {
             let mut state = shared.state.lock().expect("serve queue poisoned");
             state.running -= 1;
+            if let Some(hit) = deadline_outcome {
+                let tenant = job.tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                if let Some(tq) = state.tenants.get_mut(tenant) {
+                    if hit {
+                        tq.deadline_hit += 1;
+                        tq.meter.deadline_hit.inc();
+                    } else {
+                        tq.deadline_missed += 1;
+                        tq.meter.deadline_missed.inc();
+                    }
+                }
+            }
             state.finished.insert(id.0, result);
         }
         shared.job_done.notify_all();
@@ -649,11 +862,12 @@ fn run_job(
         artifact.prepared.execute_traced(&job.input, config, trace)
     }
     .map_err(ServeError::Execution)?;
-    shared
-        .hist_execute
-        .record(u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+    let exec_nanos = u64::try_from(exec_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    shared.hist_execute.record(exec_nanos);
+    shared.meter.hist_execute.record(exec_nanos);
     let wall_nanos = start.elapsed().as_nanos() as u64;
     shared.hist_job_wall.record(wall_nanos);
+    shared.meter.hist_job_wall.record(wall_nanos);
     job_span.push_arg("cycles", run.cycles);
     shared.cost_model.observe(digest, wall_nanos);
     Ok(JobReport {

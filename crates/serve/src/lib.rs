@@ -130,15 +130,18 @@
 
 mod cache;
 mod executor;
+mod metrics;
 pub mod store;
+pub mod telemetry;
 
 pub use cache::{Artifact, ArtifactCache};
-pub use executor::ServeHandle;
+pub use executor::{ServeHandle, TenantSnapshot};
 pub use store::{ArtifactStore, STORE_FORMAT_VERSION};
 
 use janus_core::{BackendKind, Janus, SpecCommitMode};
 use janus_dbm::DbmError;
 use janus_ir::JBinary;
+use janus_obs::metrics::Registry;
 use janus_obs::{LatencyStats, Recorder};
 use std::fmt;
 use std::path::PathBuf;
@@ -192,6 +195,24 @@ pub struct ServeConfig {
     /// histograms ([`ServeStats::job_wall`] and friends) are maintained
     /// either way.
     pub trace: Recorder,
+    /// The metrics registry this session meters into — counters, gauges and
+    /// latency histograms for jobs, tenants, the artifact cache and the
+    /// disk store, always on (a handful of relaxed atomic ops per event).
+    /// `None` (the default) uses the **process-global** registry
+    /// ([`janus_obs::metrics::global`]), so one scrape covers every
+    /// default-configured session plus the DBM's global families; pass a
+    /// fresh [`Registry`] for per-session isolation (tests, embedding).
+    pub metrics: Option<Registry>,
+    /// Address (`"host:port"`, e.g. `"127.0.0.1:9100"` or `"127.0.0.1:0"`
+    /// for an ephemeral port) to serve live telemetry on: a dependency-free
+    /// HTTP/1.0 endpoint answering `GET /metrics` (Prometheus exposition of
+    /// the effective registry), `/healthz` (liveness + saturation verdict),
+    /// `/statusz` (JSON snapshot of [`ServeStats`], per-tenant queues and
+    /// SLO attainment) and `/tracez` (Chrome trace, when
+    /// [`ServeConfig::trace`] is enabled). `None` (the default) serves no
+    /// endpoint. The listener shuts down with the session. See
+    /// [`telemetry`].
+    pub telemetry_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -208,6 +229,8 @@ impl Default for ServeConfig {
             default_quota: TenantQuota::default(),
             tenant_quotas: Vec::new(),
             trace: Recorder::default(),
+            metrics: None,
+            telemetry_addr: None,
         }
     }
 }
@@ -222,6 +245,15 @@ impl ServeConfig {
         } else {
             self.max_in_flight
         }
+    }
+
+    /// The registry this session meters into: [`ServeConfig::metrics`],
+    /// falling back to the process-global registry.
+    #[must_use]
+    pub fn effective_metrics(&self) -> Registry {
+        self.metrics
+            .clone()
+            .unwrap_or_else(|| janus_obs::metrics::global().clone())
     }
 
     /// The quota governing `tenant`: its `tenant_quotas` entry, falling
@@ -327,6 +359,12 @@ pub enum ServeError {
         /// Human-readable cause (the underlying I/O error).
         reason: String,
     },
+    /// The telemetry endpoint could not be started
+    /// ([`ServeConfig::telemetry_addr`]): the address did not bind.
+    Telemetry {
+        /// Human-readable cause (the underlying I/O error).
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -363,6 +401,9 @@ impl fmt::Display for ServeError {
             ),
             ServeError::Store { reason } => {
                 write!(f, "artifact store unavailable: {reason}")
+            }
+            ServeError::Telemetry { reason } => {
+                write!(f, "telemetry endpoint failed to start: {reason}")
             }
         }
     }
@@ -418,6 +459,12 @@ pub struct ServeStats {
     pub jobs_deadline_rejected: u64,
     /// Submissions rejected with [`ServeError::TenantSaturated`].
     pub jobs_quota_rejected: u64,
+    /// Completed deadline-carrying jobs that finished within their budget.
+    /// Jobs without a [`JobSpec::deadline`] count in neither SLO bucket.
+    pub jobs_deadline_hit: u64,
+    /// Completed deadline-carrying jobs that overran their budget (admitted
+    /// jobs are never killed — the overrun is counted, not prevented).
+    pub jobs_deadline_missed: u64,
     /// Jobs currently queued, not yet picked up by a worker.
     pub jobs_pending: u64,
     /// Jobs currently executing on a worker.
@@ -448,6 +495,19 @@ impl ServeStats {
             0.0
         } else {
             amortised as f64 / total as f64
+        }
+    }
+
+    /// Deadline SLO attainment: the fraction of completed deadline-carrying
+    /// jobs that finished within budget, or `None` when no such job has
+    /// completed (no evidence is not 100%).
+    #[must_use]
+    pub fn deadline_attainment(&self) -> Option<f64> {
+        let total = self.jobs_deadline_hit + self.jobs_deadline_missed;
+        if total == 0 {
+            None
+        } else {
+            Some(self.jobs_deadline_hit as f64 / total as f64)
         }
     }
 }

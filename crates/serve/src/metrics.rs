@@ -1,0 +1,316 @@
+//! Always-on serving metrics: cached handles into a
+//! [`janus_obs::metrics::Registry`], wired through the executor, the
+//! artifact cache and the persistent store.
+//!
+//! A session meters into [`ServeConfig::metrics`](crate::ServeConfig::metrics)
+//! when one is configured and into the process-global registry otherwise,
+//! so a default session's `/metrics` endpoint covers the whole process
+//! (including the DBM's global families). Handles are registered once at
+//! session start; every event site is a relaxed atomic op on a cached
+//! `Arc` — no locks, no allocation on the hot path. Sessions sharing the
+//! global registry share counters: the exposition is a process-wide
+//! aggregate, which is what a scrape wants. Tests that need exact
+//! per-session reconciliation pass their own `Registry`.
+
+use janus_obs::metrics::{Counter, Gauge, Registry};
+use janus_obs::Histogram;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Cache-tier counters ([`ArtifactCache`](crate::ArtifactCache)). The
+/// default meter holds detached counters — a cache outside a serving
+/// session meters into nowhere at the same cost.
+#[derive(Debug, Clone)]
+pub(crate) struct CacheMeter {
+    pub hits: Arc<Counter>,
+    pub misses: Arc<Counter>,
+    pub inflight_waits: Arc<Counter>,
+    pub evictions: Arc<Counter>,
+}
+
+impl Default for CacheMeter {
+    fn default() -> CacheMeter {
+        CacheMeter {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            inflight_waits: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl CacheMeter {
+    pub(crate) fn register(registry: &Registry) -> CacheMeter {
+        CacheMeter {
+            hits: registry.counter(
+                "janus_serve_cache_hits_total",
+                "Artifact-cache lookups served from a ready in-memory entry.",
+                &[],
+            ),
+            misses: registry.counter(
+                "janus_serve_cache_misses_total",
+                "Artifact-cache lookups that ran a full pipeline build.",
+                &[],
+            ),
+            inflight_waits: registry.counter(
+                "janus_serve_cache_inflight_waits_total",
+                "Lookups that blocked on another submission's in-progress build.",
+                &[],
+            ),
+            evictions: registry.counter(
+                "janus_serve_cache_evictions_total",
+                "Artifacts evicted by the in-memory LRU capacity bound.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Disk-store counters ([`ArtifactStore`](crate::ArtifactStore)); same
+/// detached-by-default contract as [`CacheMeter`].
+#[derive(Debug, Clone)]
+pub(crate) struct StoreMeter {
+    pub hits: Arc<Counter>,
+    pub misses: Arc<Counter>,
+    pub corrupt: Arc<Counter>,
+    pub evicted_bytes: Arc<Counter>,
+    pub errors: Arc<Counter>,
+}
+
+impl Default for StoreMeter {
+    fn default() -> StoreMeter {
+        StoreMeter {
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            corrupt: Arc::new(Counter::new()),
+            evicted_bytes: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+        }
+    }
+}
+
+impl StoreMeter {
+    pub(crate) fn register(registry: &Registry) -> StoreMeter {
+        StoreMeter {
+            hits: registry.counter(
+                "janus_store_hits_total",
+                "Disk-store loads served from a verified entry (no rebuild).",
+                &[],
+            ),
+            misses: registry.counter(
+                "janus_store_misses_total",
+                "Disk-store probes that found no usable entry (absent, stale \
+                 or corrupt).",
+                &[],
+            ),
+            corrupt: registry.counter(
+                "janus_store_corrupt_total",
+                "Disk entries quarantined after failing verification.",
+                &[],
+            ),
+            evicted_bytes: registry.counter(
+                "janus_store_evicted_bytes_total",
+                "Bytes removed by the disk store's byte-budget LRU policy.",
+                &[],
+            ),
+            errors: registry.counter(
+                "janus_store_errors_total",
+                "Artifact persistence attempts that failed with an I/O error.",
+                &[],
+            ),
+        }
+    }
+}
+
+/// Per-tenant handles, labelled `{tenant=...}`. Registered lazily on the
+/// tenant's first submission and cached in the scheduler's tenant entry.
+#[derive(Debug, Clone)]
+pub(crate) struct TenantMeter {
+    /// Current deficit-round-robin balance (tokens).
+    pub deficit: Arc<Gauge>,
+    /// Jobs currently queued for this tenant.
+    pub pending: Arc<Gauge>,
+    /// Jobs started (dequeued) for this tenant.
+    pub served: Arc<Counter>,
+    /// Completed jobs with a deadline that finished within it.
+    pub deadline_hit: Arc<Counter>,
+    /// Completed jobs with a deadline that overran it.
+    pub deadline_missed: Arc<Counter>,
+}
+
+/// Session-level handles plus the registry itself (the telemetry endpoint
+/// renders it) and the lazily-populated per-tenant map.
+pub(crate) struct ServeMeter {
+    pub registry: Registry,
+    pub jobs_submitted: Arc<Counter>,
+    pub jobs_completed: Arc<Counter>,
+    pub jobs_failed: Arc<Counter>,
+    /// Rejections by reason: `{reason="saturated"|"tenant-quota"|"deadline"}`.
+    pub rejected_saturated: Arc<Counter>,
+    pub rejected_quota: Arc<Counter>,
+    pub rejected_deadline: Arc<Counter>,
+    /// Deadline SLO outcome over completed deadline-carrying jobs.
+    pub deadline_hit: Arc<Counter>,
+    pub deadline_missed: Arc<Counter>,
+    /// Jobs queued, not yet picked up (refreshed from the queue state).
+    pub queue_depth: Arc<Gauge>,
+    /// Jobs executing on a worker right now.
+    pub jobs_running: Arc<Gauge>,
+    /// High-water mark of in-flight jobs.
+    pub in_flight_max: Arc<Gauge>,
+    /// Distinct artifacts resident in the in-memory cache.
+    pub cache_entries: Arc<Gauge>,
+    /// Entries indexed in the disk store (0 when none is configured).
+    pub store_entries: Arc<Gauge>,
+    /// Bytes occupied by the disk store's indexed entries.
+    pub store_bytes: Arc<Gauge>,
+    /// End-to-end job latency: dequeue through execution, nanoseconds.
+    pub hist_job_wall: Arc<Histogram>,
+    /// Queue wait: submission to dequeue, nanoseconds.
+    pub hist_queue_wait: Arc<Histogram>,
+    /// Guest execution alone, nanoseconds.
+    pub hist_execute: Arc<Histogram>,
+    /// Tenant label → registered handles. Locked only on a tenant's first
+    /// submission and at completion bookkeeping — never on the job path.
+    tenants: Mutex<HashMap<String, Arc<TenantMeter>>>,
+}
+
+impl std::fmt::Debug for ServeMeter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMeter")
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeMeter {
+    /// Registers every session-level family in `registry`.
+    pub(crate) fn register(registry: &Registry) -> ServeMeter {
+        let reject = |reason: &str| {
+            registry.counter(
+                "janus_serve_jobs_rejected_total",
+                "Submissions rejected by admission control, by reason.",
+                &[("reason", reason)],
+            )
+        };
+        ServeMeter {
+            jobs_submitted: registry.counter(
+                "janus_serve_jobs_submitted_total",
+                "Jobs accepted by admission control.",
+                &[],
+            ),
+            jobs_completed: registry.counter(
+                "janus_serve_jobs_completed_total",
+                "Jobs that finished (successfully or not).",
+                &[],
+            ),
+            jobs_failed: registry.counter(
+                "janus_serve_jobs_failed_total",
+                "Jobs that finished with an error.",
+                &[],
+            ),
+            rejected_saturated: reject("saturated"),
+            rejected_quota: reject("tenant-quota"),
+            rejected_deadline: reject("deadline"),
+            deadline_hit: registry.counter(
+                "janus_serve_deadline_hit_total",
+                "Completed deadline-carrying jobs that finished within budget.",
+                &[],
+            ),
+            deadline_missed: registry.counter(
+                "janus_serve_deadline_missed_total",
+                "Completed deadline-carrying jobs that overran their budget \
+                 (admitted jobs are never killed; overruns are counted).",
+                &[],
+            ),
+            queue_depth: registry.gauge(
+                "janus_serve_queue_depth",
+                "Jobs queued, not yet picked up by a worker.",
+                &[],
+            ),
+            jobs_running: registry.gauge(
+                "janus_serve_jobs_running",
+                "Jobs currently executing on a worker.",
+                &[],
+            ),
+            in_flight_max: registry.gauge(
+                "janus_serve_in_flight_max",
+                "High-water mark of in-flight jobs (pending + running).",
+                &[],
+            ),
+            cache_entries: registry.gauge(
+                "janus_serve_cache_entries",
+                "Distinct artifacts resident in the in-memory cache.",
+                &[],
+            ),
+            store_entries: registry.gauge(
+                "janus_store_entries",
+                "Entries indexed in the persistent disk store.",
+                &[],
+            ),
+            store_bytes: registry.gauge(
+                "janus_store_bytes",
+                "Bytes occupied by the disk store's indexed entries.",
+                &[],
+            ),
+            hist_job_wall: registry.histogram(
+                "janus_serve_job_wall_nanos",
+                "End-to-end job latency: dequeue through execution, including \
+                 artifact resolution.",
+                &[],
+            ),
+            hist_queue_wait: registry.histogram(
+                "janus_serve_job_queue_wait_nanos",
+                "Queue wait: submission to dequeue by a worker.",
+                &[],
+            ),
+            hist_execute: registry.histogram(
+                "janus_serve_job_execute_nanos",
+                "Guest execution alone, excluding artifact resolution.",
+                &[],
+            ),
+            tenants: Mutex::new(HashMap::new()),
+            registry: registry.clone(),
+        }
+    }
+
+    /// The per-tenant handles for `tenant`, registering them on first use.
+    pub(crate) fn tenant(&self, tenant: &str) -> Arc<TenantMeter> {
+        let mut tenants = self.tenants.lock().expect("tenant meter map poisoned");
+        if let Some(meter) = tenants.get(tenant) {
+            return meter.clone();
+        }
+        let labels: &[(&'static str, &str)] = &[("tenant", tenant)];
+        let meter = Arc::new(TenantMeter {
+            deficit: self.registry.gauge(
+                "janus_serve_tenant_deficit_tokens",
+                "Deficit-round-robin balance of the tenant (1 token ~ 1 ms of \
+                 estimated service time).",
+                labels,
+            ),
+            pending: self.registry.gauge(
+                "janus_serve_tenant_pending",
+                "Jobs currently queued for the tenant.",
+                labels,
+            ),
+            served: self.registry.counter(
+                "janus_serve_tenant_served_total",
+                "Jobs started (dequeued by the fair scheduler) for the tenant.",
+                labels,
+            ),
+            deadline_hit: self.registry.counter(
+                "janus_serve_tenant_deadline_hit_total",
+                "The tenant's completed deadline-carrying jobs that finished \
+                 within budget.",
+                labels,
+            ),
+            deadline_missed: self.registry.counter(
+                "janus_serve_tenant_deadline_missed_total",
+                "The tenant's completed deadline-carrying jobs that overran.",
+                labels,
+            ),
+        });
+        tenants.insert(tenant.to_string(), meter.clone());
+        meter
+    }
+}

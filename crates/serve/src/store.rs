@@ -60,6 +60,7 @@
 //! different — they are *stale*, not damaged — so they are removed and
 //! rebuilt without quarantine.
 
+use crate::metrics::StoreMeter;
 use janus_core::{ArtifactDecodeError, PipelineArtifacts};
 use janus_ir::digest::fnv1a;
 use janus_obs::Recorder;
@@ -122,6 +123,9 @@ pub struct ArtifactStore {
     /// Disabled by default; the serving session installs its own via
     /// [`ArtifactStore::set_recorder`].
     recorder: Recorder,
+    /// Registry handles mirroring the counters above; detached until a
+    /// serving session installs registered ones.
+    meter: StoreMeter,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -193,6 +197,7 @@ impl ArtifactStore {
             evicted_bytes: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
             recorder: Recorder::default(),
+            meter: StoreMeter::default(),
         })
     }
 
@@ -202,6 +207,11 @@ impl ArtifactStore {
     /// fall back to `stderr` otherwise — they are never silent.
     pub fn set_recorder(&mut self, recorder: Recorder) {
         self.recorder = recorder;
+    }
+
+    /// Installs the registry handles the store's counters mirror into.
+    pub(crate) fn set_meter(&mut self, meter: StoreMeter) {
+        self.meter = meter;
     }
 
     /// The directory this store persists into.
@@ -218,6 +228,7 @@ impl ArtifactStore {
     /// counts it.
     fn quarantine(&self, digest: u64, path: &Path, reason: &str) {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
+        self.meter.corrupt.inc();
         let mut state = self.state.lock().expect("store state poisoned");
         state.entries.remove(&digest);
         state.tmp_seq += 1;
@@ -264,6 +275,7 @@ impl ArtifactStore {
             Ok(bytes) => bytes,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.misses.inc();
                 return None;
             }
         };
@@ -282,6 +294,7 @@ impl ArtifactStore {
                     .last_used = now;
                 drop(state);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.meter.hits.inc();
                 Some(artifacts)
             }
             Err(EntryFault::Stale) => {
@@ -293,11 +306,13 @@ impl ArtifactStore {
                 drop(state);
                 let _ = fs::remove_file(&path);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.misses.inc();
                 None
             }
             Err(EntryFault::Corrupt(reason)) => {
                 self.quarantine(digest, &path, &reason);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                self.meter.misses.inc();
                 None
             }
         }
@@ -415,6 +430,7 @@ impl ArtifactStore {
             Err(_) => {
                 let _ = fs::remove_file(&tmp);
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
+                self.meter.errors.inc();
             }
         }
     }
@@ -435,6 +451,7 @@ impl ArtifactStore {
             state.entries.remove(&digest);
             let _ = fs::remove_file(self.entry_path(digest));
             self.evicted_bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.meter.evicted_bytes.add(bytes);
             if self.recorder.is_enabled() {
                 self.recorder.instant(
                     "serve.store",

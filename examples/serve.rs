@@ -20,8 +20,15 @@
 //! spans and per-worker tracks — loadable in Perfetto (`ui.perfetto.dev`)
 //! or `chrome://tracing`.
 //!
+//! With `--telemetry ADDR` (e.g. `--telemetry 127.0.0.1:9184`) the session
+//! serves live telemetry over HTTP while the batch runs: `GET /metrics`
+//! (Prometheus exposition), `/healthz`, `/statusz` (JSON snapshot) and
+//! `/tracez` (Chrome trace, when tracing is on). The example scrapes its
+//! own `/metrics` once before shutdown and prints the bound address, so
+//! `curl http://ADDR/metrics` works from another terminal mid-batch.
+//!
 //! Run with:
-//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N] [--store DIR [--expect-warm]] [--trace-out FILE]`
+//! `cargo run --release --example serve -- [--backend virtual|native] [--threads N] [--store DIR [--expect-warm]] [--trace-out FILE] [--telemetry ADDR]`
 
 use janus::core::{BackendKind, Janus, JanusConfig, PreparedDbm};
 use janus::serve::{JobSpec, ServeConfig, ServeSession};
@@ -36,13 +43,24 @@ mod flags;
 const NAMES: [&str; 3] = ["470.lbm", "459.GemsFDTD", "spec.histogram"];
 const JOBS_PER_BINARY: usize = 4;
 
-/// Parses the example's own `--store DIR` / `--expect-warm` /
-/// `--trace-out FILE` flags (the shared parser ignores flags it does not
-/// know).
-fn store_flags() -> (Option<std::path::PathBuf>, bool, Option<std::path::PathBuf>) {
-    let mut store = None;
-    let mut expect_warm = false;
-    let mut trace_out = None;
+/// The example's own flags on top of the shared `--backend`/`--threads`
+/// parser (which ignores flags it does not know).
+struct ServeFlags {
+    store: Option<std::path::PathBuf>,
+    expect_warm: bool,
+    trace_out: Option<std::path::PathBuf>,
+    telemetry: Option<String>,
+}
+
+/// Parses `--store DIR` / `--expect-warm` / `--trace-out FILE` /
+/// `--telemetry ADDR`.
+fn store_flags() -> ServeFlags {
+    let mut flags = ServeFlags {
+        store: None,
+        expect_warm: false,
+        trace_out: None,
+        telemetry: None,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,29 +69,41 @@ fn store_flags() -> (Option<std::path::PathBuf>, bool, Option<std::path::PathBuf
                     eprintln!("--store expects a directory path");
                     std::process::exit(2);
                 });
-                store = Some(std::path::PathBuf::from(dir));
+                flags.store = Some(std::path::PathBuf::from(dir));
             }
-            "--expect-warm" => expect_warm = true,
+            "--expect-warm" => flags.expect_warm = true,
             "--trace-out" => {
                 let file = args.next().unwrap_or_else(|| {
                     eprintln!("--trace-out expects a file path");
                     std::process::exit(2);
                 });
-                trace_out = Some(std::path::PathBuf::from(file));
+                flags.trace_out = Some(std::path::PathBuf::from(file));
+            }
+            "--telemetry" => {
+                let addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--telemetry expects a bind address, e.g. 127.0.0.1:9184");
+                    std::process::exit(2);
+                });
+                flags.telemetry = Some(addr);
             }
             _ => {}
         }
     }
-    if expect_warm && store.is_none() {
+    if flags.expect_warm && flags.store.is_none() {
         eprintln!("--expect-warm requires --store DIR");
         std::process::exit(2);
     }
-    (store, expect_warm, trace_out)
+    flags
 }
 
 fn main() {
     let (backend, threads) = flags::parse(4);
-    let (store_dir, expect_warm, trace_out) = store_flags();
+    let ServeFlags {
+        store: store_dir,
+        expect_warm,
+        trace_out,
+        telemetry,
+    } = store_flags();
     let janus = Janus::with_config(JanusConfig {
         threads,
         backend,
@@ -123,8 +153,12 @@ fn main() {
         workers: 4,
         store_dir: store_dir.clone(),
         trace: trace.clone(),
+        telemetry_addr: telemetry.clone(),
         ..ServeConfig::default()
     });
+    if let Some(addr) = handle.telemetry_addr() {
+        println!("telemetry: http://{addr}/metrics (also /healthz /statusz /tracez)");
+    }
     // One spec per binary (the content digest is computed once in
     // `JobSpec::new`), cloned per submission with its per-job override.
     let specs: Vec<(&str, JobSpec)> = binaries
@@ -155,6 +189,22 @@ fn main() {
         assert_eq!(report.output_ints, expect.output_ints, "{id} {name}");
         assert_eq!(report.output_floats, expect.output_floats, "{id} {name}");
         matches += 1;
+    }
+
+    // With telemetry on, scrape our own /metrics once before shutdown as a
+    // live demonstration (and self-check) of the exposition endpoint.
+    if let Some(addr) = handle.telemetry_addr() {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("telemetry endpoint accepts");
+        write!(stream, "GET /metrics HTTP/1.0\r\nHost: janus\r\n\r\n").expect("request writes");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("response reads");
+        assert!(raw.starts_with("HTTP/1.0 200"), "scrape succeeds: {raw}");
+        let series = raw
+            .lines()
+            .filter(|l| l.starts_with("janus_") && !l.starts_with('#'))
+            .count();
+        println!("telemetry: scraped /metrics — {series} janus_* series exposed");
     }
 
     let stats = handle.shutdown();

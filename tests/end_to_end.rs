@@ -144,3 +144,46 @@ fn thread_count_sweep_preserves_output_for_a_checked_loop() {
         assert!(report.outputs_match, "threads = {threads}");
     }
 }
+
+#[test]
+fn dbm_runs_meter_the_global_metrics_registry() {
+    // The DBM meters every run into the process-global registry (DbmConfig
+    // is Copy, so there is no handle to thread). Other tests in this binary
+    // also run the DBM, so assert on the delta, not the absolute value.
+    let registry = janus::obs::metrics::global();
+    let before = janus::obs::metrics::parse_exposition(&registry.prometheus_text())
+        .expect("exposition parses")
+        .series("janus_dbm_runs_total")
+        .iter()
+        .map(|s| s.value)
+        .sum::<f64>();
+    let binary = train_binary("470.lbm", CompileOptions::gcc_o3());
+    let report = Janus::with_config(JanusConfig {
+        threads: 4,
+        ..JanusConfig::default()
+    })
+    .run(&binary, &[])
+    .expect("pipeline runs");
+    assert!(report.outputs_match);
+    let doc = janus::obs::metrics::parse_exposition(&registry.prometheus_text())
+        .expect("exposition parses");
+    let after = doc
+        .series("janus_dbm_runs_total")
+        .iter()
+        .map(|s| s.value)
+        .sum::<f64>();
+    assert!(
+        after > before,
+        "a completed run must increment janus_dbm_runs_total ({before} -> {after})"
+    );
+    // The parallel loop ran, so invocations and merge/tuner families exist.
+    assert!(
+        !doc.series("janus_dbm_parallel_invocations_total")
+            .is_empty(),
+        "parallel invocation counter registered"
+    );
+    assert!(
+        !doc.series("janus_spec_invocations_total").is_empty(),
+        "spec counters registered"
+    );
+}
